@@ -1,0 +1,120 @@
+// Package repro is a reproduction of "Mobile and Replicated Alignment of
+// Arrays in Data-Parallel Programs" (Chatterjee, Gilbert, Schreiber;
+// Supercomputing '93). It determines array alignments — axis, stride, and
+// offset, all possibly mobile (affine in loop induction variables), plus
+// replication labels — that minimize residual (realignment) communication
+// for data-parallel programs written in a small Fortran-90-flavored array
+// language.
+//
+// The pipeline: parse → semantic analysis → alignment-distribution graph
+// (ADG) construction → axis/stride alignment under the discrete metric
+// (compact dynamic programming, §3) → replication labeling by min-cut
+// (§5) ↔ mobile offset alignment by rounded linear programming (§4),
+// iterated to quiescence (§6).
+//
+// Quick start:
+//
+//	res, err := repro.AlignSource(src, repro.DefaultOptions())
+//	fmt.Println(res.Report())
+package repro
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/adg"
+	"repro/internal/align"
+	"repro/internal/build"
+	"repro/internal/cost"
+	"repro/internal/lang"
+)
+
+// Options configures the alignment pipeline.
+type Options struct {
+	// Strategy selects the §4.2 mobile-offset algorithm.
+	Strategy align.Strategy
+	// Subranges is the per-loop-level subrange count m for the
+	// fixed-partitioning strategy (default 3; the paper's recommendation).
+	Subranges int
+	// Replication enables replication labeling (§5).
+	Replication bool
+	// ReplicationRounds bounds the replication↔offset iteration (§6).
+	ReplicationRounds int
+}
+
+// DefaultOptions returns the paper's recommended configuration:
+// fixed partitioning with m = 3 and replication labeling enabled.
+func DefaultOptions() Options {
+	return Options{Strategy: align.StrategyFixed, Subranges: 3, Replication: true}
+}
+
+// Result is a fully aligned program.
+type Result struct {
+	Program *lang.Program
+	Info    *lang.Info
+	Graph   *adg.Graph
+	Align   *align.Result
+	// Cost is the exact realignment cost breakdown of the chosen
+	// alignment under the §2.3 model.
+	Cost cost.Breakdown
+}
+
+// AlignSource parses, analyzes, builds the ADG, and aligns a program.
+func AlignSource(src string, opts Options) (*Result, error) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	return AlignProgram(prog, opts)
+}
+
+// AlignProgram aligns an already-parsed program.
+func AlignProgram(prog *lang.Program, opts Options) (*Result, error) {
+	info, err := lang.Analyze(prog)
+	if err != nil {
+		return nil, fmt.Errorf("analyze: %w", err)
+	}
+	g, err := build.Build(info)
+	if err != nil {
+		return nil, fmt.Errorf("build ADG: %w", err)
+	}
+	ar, err := align.Align(g, align.Options{
+		Offset: align.OffsetOptions{
+			Strategy: opts.Strategy,
+			M:        opts.Subranges,
+		},
+		Replication:       opts.Replication,
+		ReplicationRounds: opts.ReplicationRounds,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Program: prog, Info: info, Graph: g, Align: ar}
+	res.Cost = cost.Exact(g, ar.Assignment)
+	return res, nil
+}
+
+// Assignment returns the consolidated per-port alignment.
+func (r *Result) Assignment() *adg.Assignment { return r.Align.Assignment }
+
+// Report renders a human-readable summary: graph statistics, the chosen
+// alignments, and the cost breakdown.
+func (r *Result) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ADG: %s\n", r.Graph.Stats())
+	fmt.Fprintf(&b, "axis/stride discrete cost: %d (%d general edges)\n",
+		r.Align.AxisStride.Cost, len(r.Align.AxisStride.GeneralEdges))
+	fmt.Fprintf(&b, "replication broadcast volume: %d\n", r.Align.Repl.Broadcast)
+	fmt.Fprintf(&b, "offset LP: %d vars, %d constraints, %d solves, approx cost %.0f\n",
+		r.Align.Offset.LPVariables, r.Align.Offset.LPConstraints,
+		r.Align.Offset.Solves, r.Align.Offset.Approx)
+	fmt.Fprintf(&b, "exact cost: %s\n", r.Cost)
+	b.WriteString("alignments:\n")
+	b.WriteString(r.Align.Assignment.String())
+	return b.String()
+}
+
+// CostReport renders the per-edge cost table of the costliest edges.
+func (r *Result) CostReport(top int) string {
+	return cost.Report(r.Graph, r.Align.Assignment, top)
+}

@@ -1,0 +1,53 @@
+// Command adgdump parses a program and prints its alignment-distribution
+// graph: node/edge listing by default, Graphviz DOT with -dot.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/build"
+	"repro/internal/lang"
+)
+
+func main() {
+	dot := flag.Bool("dot", false, "emit Graphviz DOT")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: adgdump [-dot] file.dp")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := lang.Parse(string(data))
+	if err != nil {
+		fatal(err)
+	}
+	info, err := lang.Analyze(prog)
+	if err != nil {
+		fatal(err)
+	}
+	g, err := build.Build(info)
+	if err != nil {
+		fatal(err)
+	}
+	if *dot {
+		fmt.Print(g.Dot())
+		return
+	}
+	fmt.Println(g.Stats())
+	for _, e := range g.Edges {
+		fmt.Printf("e%-3d %-14s %-24q -> %-14s %-24q w=%v space=%v\n",
+			e.ID, e.Src.Node.Kind.String(), e.Src.Node.Label,
+			e.Dst.Node.Kind.String(), e.Dst.Node.Label,
+			e.Weight(), e.Space().LIVs)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "adgdump:", err)
+	os.Exit(1)
+}

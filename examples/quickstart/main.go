@@ -1,0 +1,48 @@
+// Quickstart: align the paper's Figure 1 fragment and print the mobile
+// alignment it discovers, the zero residual-communication result, and the
+// static baseline for contrast.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/align"
+	"repro/internal/build"
+	"repro/internal/lang"
+)
+
+const src = `
+real A(100,100), V(200)
+do k = 1, 100
+  A(k,1:100) = A(k,1:100) + V(k:k+99)
+enddo
+`
+
+func main() {
+	res, err := repro.AlignSource(src, repro.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== Figure 1 of the paper, aligned ===")
+	fmt.Println(res.Report())
+
+	// The headline comparison: the same program restricted to static
+	// offsets pays realignment every iteration.
+	info := lang.MustAnalyze(lang.MustParse(src))
+	g := build.MustBuild(info)
+	as, err := align.AxisStride(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	static, err := align.Offsets(g, as, nil, align.OffsetOptions{
+		Strategy: align.StrategyFixed, M: 3, Static: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mobile alignment residual cost: %d\n", res.Cost.Total())
+	fmt.Printf("best static alignment residual cost: %d (grid-metric element·hops)\n", static.Exact)
+	fmt.Println("→ mobile alignment is necessary for optimum performance (§1 of the paper)")
+}

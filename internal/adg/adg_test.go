@@ -1,0 +1,220 @@
+package adg
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/space"
+)
+
+func TestIterSpaceConcrete(t *testing.T) {
+	s := ScalarSpace().
+		Extend("i", expr.Const(1), expr.Const(10), expr.Const(1)).
+		Extend("j", expr.Const(2), expr.Const(8), expr.Const(2))
+	conc, ok := s.Concrete()
+	if !ok {
+		t.Fatal("constant-bound space not concrete")
+	}
+	if conc.Size() != 40 {
+		t.Errorf("size = %d, want 40", conc.Size())
+	}
+	if s.Size() != 40 {
+		t.Errorf("IterSpace.Size = %d", s.Size())
+	}
+}
+
+func TestIterSpaceTriangular(t *testing.T) {
+	// do i = 1,5 ; do j = 1,i — triangular nest: 1+2+3+4+5 = 15 points.
+	s := ScalarSpace().
+		Extend("i", expr.Const(1), expr.Const(5), expr.Const(1)).
+		Extend("j", expr.Const(1), expr.Var("i"), expr.Const(1))
+	if _, ok := s.Concrete(); ok {
+		t.Error("triangular space claimed concrete")
+	}
+	if s.Size() != 15 {
+		t.Errorf("triangular size = %d, want 15", s.Size())
+	}
+	var visited int
+	s.Each(func(env map[string]int64) bool {
+		if env["j"] > env["i"] {
+			t.Errorf("out-of-bounds point i=%d j=%d", env["i"], env["j"])
+		}
+		visited++
+		return true
+	})
+	if visited != 15 {
+		t.Errorf("Each visited %d", visited)
+	}
+}
+
+func TestIterSpaceTotalOf(t *testing.T) {
+	s := ScalarSpace().Extend("k", expr.Const(1), expr.Const(10), expr.Const(1))
+	// Σ k over 1..10 = 55; Σ k² = 385.
+	if got := s.TotalOf(expr.PolyVar("k")); got != 55 {
+		t.Errorf("Σk = %d", got)
+	}
+	if got := s.TotalOf(expr.PolyVar("k").Mul(expr.PolyVar("k"))); got != 385 {
+		t.Errorf("Σk² = %d", got)
+	}
+}
+
+func TestPinLIV(t *testing.T) {
+	s := ScalarSpace().Extend("k", expr.Const(1), expr.Const(100), expr.Const(1))
+	p := s.pinLIV("k", expr.Const(100))
+	if p.Size() != 1 {
+		t.Errorf("pinned size = %d, want 1", p.Size())
+	}
+	// Pinning an unknown LIV is a no-op.
+	q := s.pinLIV("z", expr.Const(5))
+	if q.Size() != 100 {
+		t.Errorf("no-op pin changed size to %d", q.Size())
+	}
+}
+
+func TestLastIterate(t *testing.T) {
+	x := &XformSpec{Lo: expr.Const(1), Hi: expr.Const(10), Step: expr.Const(3)}
+	// 1, 4, 7, 10 → last 10; with hi 11 → last 10 as well.
+	if got := x.LastIterate(); !got.Equal(expr.Const(10)) {
+		t.Errorf("last = %v", got)
+	}
+	x.Hi = expr.Const(11)
+	if got := x.LastIterate(); !got.Equal(expr.Const(10)) {
+		t.Errorf("last = %v, want 10", got)
+	}
+}
+
+func TestAlignmentPosition(t *testing.T) {
+	a := NewAlignment(2, 2)
+	a.Stride[0] = expr.Const(2)
+	a.Offset[0] = expr.Axpy(1, "k", 0) // mobile offset k
+	env := map[string]int64{"k": 5}
+	pos := a.Position([]int64{3, 4}, env)
+	// axis 0: 2·3 + 5 = 11; axis 1: 1·4 + 0 = 4.
+	if pos[0] != 11 || pos[1] != 4 {
+		t.Errorf("pos = %v", pos)
+	}
+}
+
+func TestAlignmentString(t *testing.T) {
+	a := NewAlignment(1, 2)
+	a.Replicated[1] = true
+	s := a.String()
+	if !strings.Contains(s, "*") {
+		t.Errorf("replicated axis not shown: %q", s)
+	}
+	if !strings.Contains(s, "i1") {
+		t.Errorf("body axis not shown: %q", s)
+	}
+}
+
+func TestAlignmentIsMobile(t *testing.T) {
+	a := NewAlignment(1, 1)
+	if a.IsMobile() {
+		t.Error("identity alignment mobile")
+	}
+	a.Offset[0] = expr.Var("k")
+	if !a.IsMobile() {
+		t.Error("k-offset alignment not mobile")
+	}
+}
+
+func TestGraphValidate(t *testing.T) {
+	g := New()
+	g.TemplateRank = 1
+	src := g.AddNode(KindSource, "a", 0, 1)
+	sink := g.AddNode(KindSink, "a", 1, 0)
+	src.Out[0].Rank = 1
+	sink.In[0].Rank = 1
+	// Unconnected ports must fail validation.
+	if err := g.Validate(); err == nil {
+		t.Error("validate passed with dangling ports")
+	}
+	g.Connect(src.Out[0], sink.In[0])
+	if err := g.Validate(); err != nil {
+		t.Errorf("validate failed: %v", err)
+	}
+}
+
+func TestGraphDot(t *testing.T) {
+	g := New()
+	g.TemplateRank = 1
+	src := g.AddNode(KindSource, "a", 0, 1)
+	sink := g.AddNode(KindSink, "a", 1, 0)
+	g.Connect(src.Out[0], sink.In[0])
+	dot := g.Dot()
+	for _, frag := range []string{"digraph ADG", "n0 -> n1"} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("DOT missing %q", frag)
+		}
+	}
+}
+
+func TestPortWeight(t *testing.T) {
+	g := New()
+	n := g.AddNode(KindSource, "a", 0, 1)
+	n.Out[0].Rank = 2
+	n.Out[0].Extents = []expr.Affine{expr.Const(10), expr.Axpy(1, "k", 0)}
+	w := n.Out[0].Weight()
+	if got := w.Eval(map[string]int64{"k": 7}); got != 70 {
+		t.Errorf("weight at k=7 = %d, want 70", got)
+	}
+}
+
+func TestEdgeBoundarySpaces(t *testing.T) {
+	// An edge into an exit transformer flows once (final iteration); an
+	// edge out of an entry transformer flows once (first iteration).
+	g := New()
+	g.TemplateRank = 1
+	inner := ScalarSpace().Extend("k", expr.Const(1), expr.Const(50), expr.Const(1))
+
+	def := g.AddNode(KindSource, "v", 0, 1)
+	def.Out[0].Rank = 1
+	def.Out[0].Extents = []expr.Affine{expr.Const(10)}
+	def.Out[0].Space = inner
+
+	exit := g.AddNode(KindXform, "v", 1, 1)
+	exit.Xform = &XformSpec{Kind: XformExit, LIV: "k", Lo: expr.Const(1), Hi: expr.Const(50), Step: expr.Const(1)}
+	exit.In[0].Rank = 1
+	exit.In[0].Extents = []expr.Affine{expr.Const(10)}
+	exit.In[0].Space = inner
+
+	e := g.Connect(def.Out[0], exit.In[0])
+	if got := e.TotalWeight(); got != 10 {
+		t.Errorf("exit edge weight = %d, want 10 (flows once)", got)
+	}
+	// A plain edge in the same space flows every iteration.
+	use := g.AddNode(KindSink, "v", 1, 0)
+	use.In[0].Rank = 1
+	use.In[0].Extents = []expr.Affine{expr.Const(10)}
+	use.In[0].Space = inner
+	def2 := g.AddNode(KindSource, "w", 0, 1)
+	def2.Out[0].Rank = 1
+	def2.Out[0].Extents = []expr.Affine{expr.Const(10)}
+	def2.Out[0].Space = inner
+	e2 := g.Connect(def2.Out[0], use.In[0])
+	if got := e2.TotalWeight(); got != 500 {
+		t.Errorf("inner edge weight = %d, want 500", got)
+	}
+}
+
+func TestSectionSpecOutRank(t *testing.T) {
+	spec := &SectionSpec{Subs: []SubSpec{
+		{IsRange: true},
+		{Index: expr.Var("k")},
+		{IsVector: true},
+	}}
+	if spec.OutRank() != 2 {
+		t.Errorf("OutRank = %d, want 2", spec.OutRank())
+	}
+}
+
+func TestSubSpacesOnIterSpace(t *testing.T) {
+	s := ScalarSpace().Extend("k", expr.Const(1), expr.Const(9), expr.Const(1))
+	conc, _ := s.Concrete()
+	subs := conc.SubSpaces(3)
+	if len(subs) != 3 {
+		t.Errorf("subspaces = %d", len(subs))
+	}
+	_ = space.Scalar()
+}

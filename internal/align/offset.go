@@ -1,0 +1,960 @@
+package align
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/adg"
+	"repro/internal/expr"
+	"repro/internal/lp"
+	"repro/internal/space"
+)
+
+// Strategy selects among the §4.2 algorithms for mobile offset alignment.
+type Strategy int
+
+// The five algorithms of §4.2.
+const (
+	// StrategyFixed partitions every iteration range into m subranges and
+	// solves one RLP; the paper's recommended compromise (m=3 → within
+	// 22% of optimal, m=5 → 8%).
+	StrategyFixed Strategy = iota
+	// StrategyUnroll makes every iteration its own subrange — exact but
+	// impractical unless the iteration count is small.
+	StrategyUnroll
+	// StrategySingle approximates the whole range as one subrange and
+	// then improves the exact cost by steepest descent (state-space
+	// search).
+	StrategySingle
+	// StrategyZeroTrack starts with two equal subranges and iteratively
+	// moves the boundary to the span's zero crossing.
+	StrategyZeroTrack
+	// StrategyRecursive starts with one subrange and recursively splits
+	// subranges containing a zero crossing.
+	StrategyRecursive
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyFixed:
+		return "fixed-partition"
+	case StrategyUnroll:
+		return "unrolling"
+	case StrategySingle:
+		return "state-space-search"
+	case StrategyZeroTrack:
+		return "zero-crossing-tracking"
+	case StrategyRecursive:
+		return "recursive-refinement"
+	}
+	return "?"
+}
+
+// OffsetOptions configures the mobile offset solver.
+type OffsetOptions struct {
+	Strategy Strategy
+	// M is the number of subranges per loop level for StrategyFixed
+	// (default 3).
+	M int
+	// MaxRefine bounds the re-solve iterations of the zero-crossing and
+	// recursive strategies (default 6).
+	MaxRefine int
+	// UnrollCap bounds the number of subranges per edge for
+	// StrategyUnroll (default 4096).
+	UnrollCap int
+	// Static forbids mobile offsets: every loop-variable coefficient is
+	// pinned to zero, so offsets are plain integers. Used to reproduce
+	// the paper's static-vs-mobile comparisons.
+	Static bool
+}
+
+func (o OffsetOptions) withDefaults() OffsetOptions {
+	if o.M <= 0 {
+		o.M = 3
+	}
+	if o.MaxRefine <= 0 {
+		o.MaxRefine = 6
+	}
+	if o.UnrollCap <= 0 {
+		o.UnrollCap = 4096
+	}
+	return o
+}
+
+// OffsetResult is the outcome of (mobile) offset alignment.
+type OffsetResult struct {
+	// Offsets maps port ID → per-template-axis mobile offset.
+	Offsets map[int][]expr.Affine
+	// Approx is the summed LP objective: the subrange approximation of
+	// the grid-metric realignment cost.
+	Approx float64
+	// Exact is the exact grid-metric realignment cost of the rounded
+	// solution (excluding replicated edges).
+	Exact int64
+	// LPVariables and LPConstraints count the largest single LP solved.
+	LPVariables, LPConstraints int
+	// Solves counts LP solves across all axes and refinement rounds.
+	Solves int
+}
+
+// coefKey identifies one unknown coefficient: the LIV coefficient (or
+// constant term when LIV == "") of a port's offset on the current axis.
+type coefKey struct {
+	port int
+	liv  string // "" = constant term
+}
+
+// Offsets solves mobile offset alignment (§4) for every template axis
+// under the given axis/stride labels and replication labeling.
+func Offsets(g *adg.Graph, as *AxisStrideResult, repl *ReplResult, opts OffsetOptions) (*OffsetResult, error) {
+	opts = opts.withDefaults()
+	if repl == nil {
+		repl = NoReplication(g)
+	}
+	res := &OffsetResult{Offsets: map[int][]expr.Affine{}}
+	for _, p := range g.Ports {
+		offs := make([]expr.Affine, g.TemplateRank)
+		for t := range offs {
+			offs[t] = expr.Const(0)
+		}
+		res.Offsets[p.ID] = offs
+	}
+	for t := 0; t < g.TemplateRank; t++ {
+		ax := &axisSolver{g: g, as: as, repl: repl, axis: t, opts: opts}
+		if err := ax.solve(res); err != nil {
+			return nil, fmt.Errorf("align: axis %d: %w", t, err)
+		}
+	}
+	res.Exact = ExactOffsetCost(g, repl, res.Offsets)
+	return res, nil
+}
+
+type axisSolver struct {
+	g    *adg.Graph
+	as   *AxisStrideResult
+	repl *ReplResult
+	axis int
+	opts OffsetOptions
+}
+
+// liveEdge reports whether the edge contributes offset cost on this axis:
+// edges with a replicated endpoint are discarded (§5.1 — a replicated
+// tail needs no communication; a replicated head costs the same
+// regardless of the tail's offset).
+func (ax *axisSolver) liveEdge(e *adg.Edge) bool {
+	return !ax.repl.Replicated(e.Src, ax.axis) && !ax.repl.Replicated(e.Dst, ax.axis)
+}
+
+func (ax *axisSolver) solve(res *OffsetResult) error {
+	parts := ax.initialPartitions()
+	var coefs map[coefKey]float64
+	var obj float64
+	rounds := 1
+	if ax.opts.Strategy == StrategyZeroTrack || ax.opts.Strategy == StrategyRecursive {
+		rounds = ax.opts.MaxRefine
+	}
+	for round := 0; round < rounds; round++ {
+		var err error
+		coefs, obj, err = ax.solveRLP(parts, res)
+		if err != nil {
+			return err
+		}
+		res.Solves++
+		if ax.opts.Strategy != StrategyZeroTrack && ax.opts.Strategy != StrategyRecursive {
+			break
+		}
+		newParts, changed := ax.refinePartitions(parts, coefs)
+		if !changed {
+			break
+		}
+		parts = newParts
+	}
+	// Round to integers and store.
+	ints := roundCoefs(coefs)
+	ax.store(res, ints)
+	res.Approx += obj
+	if ax.opts.Strategy == StrategySingle {
+		ax.steepestDescent(res, ints)
+	}
+	return nil
+}
+
+// initialPartitions builds the per-edge subrange decomposition of the
+// iteration space per the strategy.
+func (ax *axisSolver) initialPartitions() map[int][]space.Space {
+	parts := map[int][]space.Space{}
+	for _, e := range ax.g.Edges {
+		if !ax.liveEdge(e) {
+			continue
+		}
+		sp := e.Space()
+		conc, ok := sp.Concrete()
+		if !ok || conc.Rank() == 0 {
+			continue // single symbolic subrange handled separately
+		}
+		var m int
+		switch ax.opts.Strategy {
+		case StrategyFixed:
+			m = ax.opts.M
+		case StrategyUnroll:
+			m = ax.opts.UnrollCap
+		case StrategySingle, StrategyRecursive:
+			m = 1
+		case StrategyZeroTrack:
+			m = 2
+		}
+		subs := conc.SubSpaces(m)
+		if ax.opts.Strategy == StrategyUnroll && int64(len(subs)) > int64(ax.opts.UnrollCap) {
+			subs = conc.SubSpaces(ax.opts.M)
+		}
+		parts[e.ID] = subs
+	}
+	return parts
+}
+
+// solveRLP builds and solves one rounded-linear-programming instance for
+// the current axis with the given subrange partitions.
+func (ax *axisSolver) solveRLP(parts map[int][]space.Space, res *OffsetResult) (map[coefKey]float64, float64, error) {
+	prob, vars := ax.buildRLP(parts)
+	if prob.NumVariables() > res.LPVariables {
+		res.LPVariables = prob.NumVariables()
+	}
+	if prob.NumConstraints() > res.LPConstraints {
+		res.LPConstraints = prob.NumConstraints()
+	}
+	sol, err := prob.Solve()
+	if err != nil {
+		return nil, 0, err
+	}
+	out := map[coefKey]float64{}
+	for k, v := range vars {
+		out[k] = sol.Value(v)
+	}
+	return out, sol.Objective, nil
+}
+
+// buildRLP constructs the RLP instance for the current axis.
+func (ax *axisSolver) buildRLP(parts map[int][]space.Space) (*lp.Problem, map[coefKey]lp.VarID) {
+	prob := lp.NewProblem()
+	vars := map[coefKey]lp.VarID{}
+	varOf := func(k coefKey) lp.VarID {
+		if v, ok := vars[k]; ok {
+			return v
+		}
+		v := prob.AddVariable(fmt.Sprintf("a[p%d,%s]", k.port, k.liv), 0, true)
+		vars[k] = v
+		return v
+	}
+	portVars := func(p *adg.Port) []coefKey {
+		keys := []coefKey{{port: p.ID, liv: ""}}
+		for _, v := range p.Space.LIVs {
+			keys = append(keys, coefKey{port: p.ID, liv: v})
+		}
+		return keys
+	}
+	// Ensure every port has its variables (even unconstrained ones).
+	for _, p := range ax.g.Ports {
+		for _, k := range portVars(p) {
+			varOf(k)
+		}
+	}
+	// Static mode: pin LIV coefficients to zero so every chosen alignment
+	// is constant. Ports whose mobility is forced by a node constraint —
+	// the section side of Section/SectionAssign/Gather nodes, whose
+	// position is the whole array's plus a subscript-dependent delta —
+	// must stay free or the system is infeasible; their positions are
+	// consequences, not choices.
+	if ax.opts.Static {
+		forced := map[int]bool{}
+		for _, n := range ax.g.Nodes {
+			switch n.Kind {
+			case adg.KindSection, adg.KindGather:
+				forced[n.Out[0].ID] = true
+			case adg.KindSectionAssign:
+				forced[n.In[1].ID] = true
+			}
+		}
+		for _, p := range ax.g.Ports {
+			if forced[p.ID] {
+				continue
+			}
+			for _, v := range p.Space.LIVs {
+				prob.AddConstraint(map[lp.VarID]float64{varOf(coefKey{port: p.ID, liv: v}): 1}, lp.EQ, 0)
+			}
+		}
+	}
+
+	// Node constraints.
+	for _, n := range ax.g.Nodes {
+		ax.nodeConstraints(prob, varOf, n)
+	}
+	// Anchor the constant coefficient of the lowest port in each
+	// connected component to remove translation freedom.
+	for _, pid := range ax.anchors() {
+		prob.AddConstraint(map[lp.VarID]float64{varOf(coefKey{port: pid}): 1}, lp.EQ, 0)
+	}
+
+	// Edge objective: θ per (edge, subrange).
+	for _, e := range ax.g.Edges {
+		if !ax.liveEdge(e) {
+			continue
+		}
+		subs, ok := parts[e.ID]
+		if !ok {
+			// Symbolic or scalar space: single subrange via TotalOf.
+			ax.addEdgeTermSymbolic(prob, varOf, e)
+			continue
+		}
+		w := e.Weight()
+		livs := e.Space().LIVs
+		for _, sub := range subs {
+			ax.addEdgeTerm(prob, varOf, e, w, livs, sub)
+		}
+	}
+
+	return prob, vars
+}
+
+// addEdgeTerm emits θ ≥ ±Σ_{i∈sub} w(i)·span(i) for one subrange.
+func (ax *axisSolver) addEdgeTerm(prob *lp.Problem, varOf func(coefKey) lp.VarID, e *adg.Edge, w expr.Poly, livs []string, sub space.Space) {
+	m0, mv := moments(w, livs, sub)
+	if m0 == 0 && allZero(mv) {
+		return
+	}
+	theta := prob.AddVariable(fmt.Sprintf("theta[e%d]", e.ID), 1, false)
+	pos := map[lp.VarID]float64{theta: 1}
+	neg := map[lp.VarID]float64{theta: 1}
+	addTerm := func(k coefKey, c float64) {
+		if c == 0 {
+			return
+		}
+		v := varOf(k)
+		pos[v] -= c
+		neg[v] += c
+	}
+	c := e.Control
+	addTerm(coefKey{port: e.Src.ID}, c*float64(m0))
+	addTerm(coefKey{port: e.Dst.ID}, -c*float64(m0))
+	for _, liv := range livs {
+		addTerm(coefKey{port: e.Src.ID, liv: liv}, c*float64(mv[liv]))
+		addTerm(coefKey{port: e.Dst.ID, liv: liv}, -c*float64(mv[liv]))
+	}
+	prob.AddConstraint(pos, lp.GE, 0) // θ − L ≥ 0
+	prob.AddConstraint(neg, lp.GE, 0) // θ + L ≥ 0
+}
+
+// addEdgeTermSymbolic emits the single-subrange term for edges whose
+// iteration space has symbolic (affine) bounds or rank 0.
+func (ax *axisSolver) addEdgeTermSymbolic(prob *lp.Problem, varOf func(coefKey) lp.VarID, e *adg.Edge) {
+	sp := e.Space()
+	w := e.Weight()
+	m0 := sp.TotalOf(w)
+	mv := map[string]int64{}
+	for _, liv := range sp.LIVs {
+		mv[liv] = sp.TotalOf(w.Mul(expr.PolyVar(liv)))
+	}
+	if m0 == 0 && allZero(mv) {
+		return
+	}
+	theta := prob.AddVariable(fmt.Sprintf("theta[e%d]", e.ID), 1, false)
+	pos := map[lp.VarID]float64{theta: 1}
+	neg := map[lp.VarID]float64{theta: 1}
+	addTerm := func(k coefKey, c float64) {
+		if c == 0 {
+			return
+		}
+		v := varOf(k)
+		pos[v] -= c
+		neg[v] += c
+	}
+	c := e.Control
+	addTerm(coefKey{port: e.Src.ID}, c*float64(m0))
+	addTerm(coefKey{port: e.Dst.ID}, -c*float64(m0))
+	for _, liv := range sp.LIVs {
+		addTerm(coefKey{port: e.Src.ID, liv: liv}, c*float64(mv[liv]))
+		addTerm(coefKey{port: e.Dst.ID, liv: liv}, -c*float64(mv[liv]))
+	}
+	prob.AddConstraint(pos, lp.GE, 0)
+	prob.AddConstraint(neg, lp.GE, 0)
+}
+
+// moments returns M0 = Σ_{i∈sub} w(i) and Mv = Σ_{i∈sub} w(i)·i_v.
+func moments(w expr.Poly, livs []string, sub space.Space) (int64, map[string]int64) {
+	m0p := expr.SumOverSpace(w, livs, sub)
+	m0, _ := m0p.IsConst()
+	mv := map[string]int64{}
+	for _, liv := range livs {
+		p := expr.SumOverSpace(w.Mul(expr.PolyVar(liv)), livs, sub)
+		c, _ := p.IsConst()
+		mv[liv] = c
+	}
+	return m0, mv
+}
+
+func allZero(m map[string]int64) bool {
+	for _, v := range m {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// nodeConstraints emits the linear offset constraints of one node on the
+// current axis (see §2.2.2 and the node catalogue in DESIGN.md).
+func (ax *axisSolver) nodeConstraints(prob *lp.Problem, varOf func(coefKey) lp.VarID, n *adg.Node) {
+	t := ax.axis
+	eq := func(a, b *adg.Port, delta expr.Affine) {
+		// π_a = π_b + δ, coefficient-wise over the common space.
+		livs := map[string]bool{"": true}
+		for _, v := range a.Space.LIVs {
+			livs[v] = true
+		}
+		for _, v := range b.Space.LIVs {
+			livs[v] = true
+		}
+		for v := range livs {
+			co := map[lp.VarID]float64{}
+			co[varOf(coefKey{port: a.ID, liv: v})] += 1
+			co[varOf(coefKey{port: b.ID, liv: v})] -= 1
+			var rhs float64
+			if v == "" {
+				rhs = float64(delta.ConstPart())
+			} else {
+				rhs = float64(delta.Coef(v))
+			}
+			prob.AddConstraint(co, lp.EQ, rhs)
+		}
+	}
+	zero := expr.Const(0)
+	switch n.Kind {
+	case adg.KindOp, adg.KindMerge, adg.KindFanout, adg.KindBranch:
+		ref := n.Out[0]
+		for _, p := range n.In {
+			eq(p, ref, zero)
+		}
+		for _, p := range n.Out[1:] {
+			eq(p, ref, zero)
+		}
+	case adg.KindTranspose:
+		eq(n.Out[0], n.In[0], zero)
+	case adg.KindSection:
+		ax.sectionConstraint(prob, varOf, eq, n, n.In[0], n.Out[0])
+	case adg.KindSectionAssign:
+		eq(n.Out[0], n.In[0], zero)
+		ax.sectionConstraint(prob, varOf, eq, n, n.In[0], n.In[1])
+	case adg.KindSpread:
+		outLabel := ax.as.Labels[n.Out[0].ID]
+		spreadAxis := -1
+		if n.SpreadDim-1 < len(outLabel.AxisMap) {
+			spreadAxis = outLabel.AxisMap[n.SpreadDim-1]
+		}
+		if t != spreadAxis {
+			eq(n.Out[0], n.In[0], zero)
+		}
+	case adg.KindReduce:
+		if n.ReduceDim == 0 {
+			return // full reduction: scalar result unconstrained
+		}
+		inLabel := ax.as.Labels[n.In[0].ID]
+		redAxis := inLabel.AxisMap[n.ReduceDim-1]
+		if t != redAxis {
+			eq(n.Out[0], n.In[0], zero)
+		}
+	case adg.KindXform:
+		ax.xformConstraint(prob, varOf, n)
+	case adg.KindGather, adg.KindSource, adg.KindSink:
+		// No offset constraints.
+	}
+}
+
+// sectionConstraint emits π_sec = π_whole + lo·stride (or index·stride)
+// on the current axis.
+func (ax *axisSolver) sectionConstraint(prob *lp.Problem, varOf func(coefKey) lp.VarID, eq func(a, b *adg.Port, delta expr.Affine), n *adg.Node, whole, sec *adg.Port) {
+	t := ax.axis
+	label := ax.as.Labels[whole.ID]
+	// Find the whole-array body axis mapped to t.
+	d := -1
+	for dd, a := range label.AxisMap {
+		if a == t {
+			d = dd
+			break
+		}
+	}
+	if d < 0 {
+		// Space axis of the whole array: positions equal.
+		eq(sec, whole, expr.Const(0))
+		return
+	}
+	sub := n.Section.Subs[d]
+	stride := label.Stride[d]
+	var pos expr.Affine // subscript value anchoring the section's origin
+	switch {
+	case sub.IsVector:
+		return // gathered axis: unconstrained
+	case sub.IsRange:
+		pos = sub.Lo
+	default:
+		pos = sub.Index
+	}
+	// δ = (pos - 1)·stride: array index pos sits at offset_whole +
+	// (pos-1)·stride (Fortran 1-based indexing; the array origin is
+	// element 1).
+	delta, ok := mulAffine(pos.AddConst(-1), stride)
+	if !ok {
+		// Quadratic product (both mobile): conservatively force equality;
+		// the edge will pay general communication via the stride phase.
+		delta = expr.Const(0)
+	}
+	eq(sec, whole, delta)
+}
+
+// xformConstraint ties the coefficients across a loop boundary (§2.2.3).
+func (ax *axisSolver) xformConstraint(prob *lp.Problem, varOf func(coefKey) lp.VarID, n *adg.Node) {
+	x := n.Xform
+	in, out := n.In[0], n.Out[0]
+	k := x.LIV
+	addEq := func(terms map[lp.VarID]float64, rhs float64) {
+		prob.AddConstraint(terms, lp.EQ, rhs)
+	}
+	switch x.Kind {
+	case adg.XformEntry:
+		// π_in (outer) = π_out at k = lo:
+		// a_in,v = a_out,v + a_out,k·lo_v ; a_in,0 = a_out,0 + a_out,k·lo_0.
+		outerVars := append([]string{""}, in.Space.LIVs...)
+		for _, v := range outerVars {
+			co := map[lp.VarID]float64{}
+			co[varOf(coefKey{port: in.ID, liv: v})] += 1
+			co[varOf(coefKey{port: out.ID, liv: v})] -= 1
+			var lv float64
+			if v == "" {
+				lv = float64(x.Lo.ConstPart())
+			} else {
+				lv = float64(x.Lo.Coef(v))
+			}
+			if lv != 0 {
+				co[varOf(coefKey{port: out.ID, liv: k})] -= lv
+			}
+			addEq(co, 0)
+		}
+	case adg.XformLoopBack:
+		// π_in as a function of k+step equals π_out as a function of k:
+		// a_in,k = a_out,k ; a_in,v + a_in,k·s_v = a_out,v ;
+		// a_in,0 + a_in,k·s_0 = a_out,0.
+		co := map[lp.VarID]float64{}
+		co[varOf(coefKey{port: in.ID, liv: k})] += 1
+		co[varOf(coefKey{port: out.ID, liv: k})] -= 1
+		addEq(co, 0)
+		vars := append([]string{""}, in.Space.LIVs...)
+		for _, v := range vars {
+			if v == k {
+				continue
+			}
+			co := map[lp.VarID]float64{}
+			co[varOf(coefKey{port: in.ID, liv: v})] += 1
+			co[varOf(coefKey{port: out.ID, liv: v})] -= 1
+			var sv float64
+			if v == "" {
+				sv = float64(x.Step.ConstPart())
+			} else {
+				sv = float64(x.Step.Coef(v))
+			}
+			if sv != 0 {
+				co[varOf(coefKey{port: in.ID, liv: k})] += sv
+			}
+			addEq(co, 0)
+		}
+	case adg.XformExit:
+		// π_out (outer) = π_in at k = last:
+		last := lastIterate(x)
+		outerVars := append([]string{""}, out.Space.LIVs...)
+		for _, v := range outerVars {
+			co := map[lp.VarID]float64{}
+			co[varOf(coefKey{port: out.ID, liv: v})] += 1
+			co[varOf(coefKey{port: in.ID, liv: v})] -= 1
+			var lv float64
+			if v == "" {
+				lv = float64(last.ConstPart())
+			} else {
+				lv = float64(last.Coef(v))
+			}
+			if lv != 0 {
+				co[varOf(coefKey{port: in.ID, liv: k})] -= lv
+			}
+			addEq(co, 0)
+		}
+	}
+}
+
+// anchors returns one port ID per connected component of the
+// constraint+edge graph.
+func (ax *axisSolver) anchors() []int {
+	parent := make([]int, len(ax.g.Ports))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	for _, e := range ax.g.Edges {
+		union(e.Src.ID, e.Dst.ID)
+	}
+	for _, n := range ax.g.Nodes {
+		ports := append(append([]*adg.Port{}, n.In...), n.Out...)
+		for i := 1; i < len(ports); i++ {
+			union(ports[0].ID, ports[i].ID)
+		}
+	}
+	seen := map[int]bool{}
+	var out []int
+	for _, p := range ax.g.Ports {
+		r := find(p.ID)
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, p.ID)
+		}
+	}
+	return out
+}
+
+// refinePartitions implements the zero-crossing moves of the
+// StrategyZeroTrack and StrategyRecursive drivers for singly-nested
+// (rank-1) edges; deeper edges keep their partitions.
+func (ax *axisSolver) refinePartitions(parts map[int][]space.Space, coefs map[coefKey]float64) (map[int][]space.Space, bool) {
+	changed := false
+	out := map[int][]space.Space{}
+	for _, e := range ax.g.Edges {
+		subs, ok := parts[e.ID]
+		if !ok {
+			continue
+		}
+		conc, _ := e.Space().Concrete()
+		if conc.Rank() != 1 {
+			out[e.ID] = subs
+			continue
+		}
+		liv := e.Space().LIVs[0]
+		// Current span coefficients.
+		a0 := int64(math.Round(coefs[coefKey{port: e.Src.ID}] - coefs[coefKey{port: e.Dst.ID}]))
+		a1 := int64(math.Round(coefs[coefKey{port: e.Src.ID, liv: liv}] - coefs[coefKey{port: e.Dst.ID, liv: liv}]))
+		span := expr.Axpy(a1, liv, a0)
+		if ax.opts.Strategy == StrategyZeroTrack {
+			// Move the (single) boundary to the zero crossing.
+			pieces := expr.SplitAtZeroCrossing(span, liv, conc.Dim(0))
+			newSubs := make([]space.Space, 0, 2)
+			for _, t := range pieces {
+				newSubs = append(newSubs, space.NewSpace(t))
+			}
+			if !samePartition(newSubs, subs) {
+				changed = true
+			}
+			out[e.ID] = newSubs
+			continue
+		}
+		// StrategyRecursive: split any subrange containing a crossing.
+		var newSubs []space.Space
+		split := false
+		for _, sub := range subs {
+			pieces := expr.SplitAtZeroCrossing(span, liv, sub.Dim(0))
+			if len(pieces) == 2 {
+				split = true
+				for _, t := range pieces {
+					newSubs = append(newSubs, space.NewSpace(t))
+				}
+			} else {
+				newSubs = append(newSubs, sub)
+			}
+		}
+		if split {
+			changed = true
+		}
+		out[e.ID] = newSubs
+	}
+	return out, changed
+}
+
+func samePartition(a, b []space.Space) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func roundCoefs(coefs map[coefKey]float64) map[coefKey]int64 {
+	out := map[coefKey]int64{}
+	for k, v := range coefs {
+		out[k] = int64(math.Round(v))
+	}
+	return out
+}
+
+// store writes the rounded per-axis coefficients into the result.
+func (ax *axisSolver) store(res *OffsetResult, ints map[coefKey]int64) {
+	for _, p := range ax.g.Ports {
+		a := expr.Const(ints[coefKey{port: p.ID}])
+		for _, v := range p.Space.LIVs {
+			a = a.Add(expr.Axpy(ints[coefKey{port: p.ID, liv: v}], v, 0))
+		}
+		offs := res.Offsets[p.ID]
+		offs[ax.axis] = a
+	}
+}
+
+// steepestDescent improves the exact cost on this axis by coordinate
+// descent over the rounded coefficients (the optimization step of the
+// state-space-search strategy). Because node constraints are hard, the
+// unit moves shift a whole node's ports together: every node constraint
+// is translation-invariant in each coefficient, with transformer nodes
+// needing the compensating cross-coefficient adjustments applied by
+// nodeMove.
+func (ax *axisSolver) steepestDescent(res *OffsetResult, ints map[coefKey]int64) {
+	cur := ExactOffsetCostAxis(ax.g, ax.repl, res.Offsets, ax.axis)
+	for pass := 0; pass < 10; pass++ {
+		improved := false
+		for _, n := range ax.g.Nodes {
+			coeffs := map[string]bool{"": true}
+			for _, p := range append(append([]*adg.Port{}, n.In...), n.Out...) {
+				for _, v := range p.Space.LIVs {
+					coeffs[v] = true
+				}
+			}
+			for v := range coeffs {
+				for _, d := range []int64{1, -1} {
+					ax.nodeMove(n, v, d, ints)
+					ax.store(res, ints)
+					if !ax.feasible(res.Offsets) {
+						ax.nodeMove(n, v, -d, ints)
+						ax.store(res, ints)
+						continue
+					}
+					c := ExactOffsetCostAxis(ax.g, ax.repl, res.Offsets, ax.axis)
+					if c < cur {
+						cur = c
+						improved = true
+					} else {
+						ax.nodeMove(n, v, -d, ints)
+						ax.store(res, ints)
+					}
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+}
+
+// nodeMove shifts coefficient v of every port of node n by d, applying
+// the compensating adjustments transformer constraints require when one
+// side of the node lacks the coefficient.
+func (ax *axisSolver) nodeMove(n *adg.Node, v string, d int64, ints map[coefKey]int64) {
+	has := func(p *adg.Port) bool {
+		if v == "" {
+			return true
+		}
+		for _, l := range p.Space.LIVs {
+			if l == v {
+				return true
+			}
+		}
+		return false
+	}
+	for _, p := range append(append([]*adg.Port{}, n.In...), n.Out...) {
+		if has(p) {
+			ints[coefKey{port: p.ID, liv: v}] += d
+		}
+	}
+	if n.Kind != adg.KindXform || v != n.Xform.LIV {
+		return
+	}
+	// The outer-side port lacks the LIV coefficient; compensate its
+	// other coefficients so the entry/exit evaluation constraint holds.
+	x := n.Xform
+	switch x.Kind {
+	case adg.XformEntry:
+		// a_in,0 = a_out,0 + a_out,k·lo: out.k moved by d ⇒ in += d·lo.
+		in := n.In[0]
+		ints[coefKey{port: in.ID}] += d * x.Lo.ConstPart()
+		for _, t := range x.Lo.Terms() {
+			ints[coefKey{port: in.ID, liv: t.Var}] += d * t.Coef
+		}
+	case adg.XformExit:
+		out := n.Out[0]
+		last := lastIterate(x)
+		ints[coefKey{port: out.ID}] += d * last.ConstPart()
+		for _, t := range last.Terms() {
+			ints[coefKey{port: out.ID, liv: t.Var}] += d * t.Coef
+		}
+	case adg.XformLoopBack:
+		// a_in,v + a_in,k·s_v = a_out,v: both k's moved by d ⇒
+		// out gains d·s_v on every other coefficient.
+		out := n.Out[0]
+		ints[coefKey{port: out.ID}] += d * x.Step.ConstPart()
+		for _, t := range x.Step.Terms() {
+			ints[coefKey{port: out.ID, liv: t.Var}] += d * t.Coef
+		}
+	}
+}
+
+// feasible checks the node constraints hold for the current offsets on
+// this axis (used by steepest descent to stay in the feasible region).
+func (ax *axisSolver) feasible(offsets map[int][]expr.Affine) bool {
+	ok := true
+	check := func(a, b *adg.Port, delta expr.Affine) {
+		lhs := offsets[a.ID][ax.axis]
+		rhs := offsets[b.ID][ax.axis].Add(delta)
+		if !lhs.Equal(rhs) {
+			ok = false
+		}
+	}
+	t := ax.axis
+	zero := expr.Const(0)
+	for _, n := range ax.g.Nodes {
+		switch n.Kind {
+		case adg.KindOp, adg.KindMerge, adg.KindFanout, adg.KindBranch:
+			ref := n.Out[0]
+			for _, p := range n.In {
+				check(p, ref, zero)
+			}
+			for _, p := range n.Out[1:] {
+				check(p, ref, zero)
+			}
+		case adg.KindTranspose:
+			check(n.Out[0], n.In[0], zero)
+		case adg.KindSection:
+			ax.checkSection(n, n.In[0], n.Out[0], offsets, &ok)
+		case adg.KindSectionAssign:
+			check(n.Out[0], n.In[0], zero)
+			ax.checkSection(n, n.In[0], n.In[1], offsets, &ok)
+		case adg.KindSpread:
+			outLabel := ax.as.Labels[n.Out[0].ID]
+			spreadAxis := -1
+			if n.SpreadDim-1 < len(outLabel.AxisMap) {
+				spreadAxis = outLabel.AxisMap[n.SpreadDim-1]
+			}
+			if t != spreadAxis {
+				check(n.Out[0], n.In[0], zero)
+			}
+		case adg.KindReduce:
+			if n.ReduceDim == 0 {
+				continue
+			}
+			inLabel := ax.as.Labels[n.In[0].ID]
+			if t != inLabel.AxisMap[n.ReduceDim-1] {
+				check(n.Out[0], n.In[0], zero)
+			}
+		case adg.KindXform:
+			x := n.Xform
+			in, out := offsets[n.In[0].ID][t], offsets[n.Out[0].ID][t]
+			switch x.Kind {
+			case adg.XformEntry:
+				want := out.Subst(x.LIV, x.Lo)
+				if !in.Equal(want) {
+					ok = false
+				}
+			case adg.XformLoopBack:
+				want := in.Subst(x.LIV, expr.Var(x.LIV).Add(x.Step))
+				if !want.Equal(out) {
+					ok = false
+				}
+			case adg.XformExit:
+				want := in.Subst(x.LIV, lastIterate(x))
+				if !out.Equal(want) {
+					ok = false
+				}
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return ok
+}
+
+func (ax *axisSolver) checkSection(n *adg.Node, whole, sec *adg.Port, offsets map[int][]expr.Affine, ok *bool) {
+	t := ax.axis
+	label := ax.as.Labels[whole.ID]
+	d := -1
+	for dd, a := range label.AxisMap {
+		if a == t {
+			d = dd
+			break
+		}
+	}
+	var delta expr.Affine
+	if d < 0 {
+		delta = expr.Const(0)
+	} else {
+		sub := n.Section.Subs[d]
+		if sub.IsVector {
+			return
+		}
+		pos := sub.Index
+		if sub.IsRange {
+			pos = sub.Lo
+		}
+		var good bool
+		delta, good = mulAffine(pos.AddConst(-1), label.Stride[d])
+		if !good {
+			delta = expr.Const(0)
+		}
+	}
+	lhs := offsets[sec.ID][t]
+	rhs := offsets[whole.ID][t].Add(delta)
+	if !lhs.Equal(rhs) {
+		*ok = false
+	}
+}
+
+// ExactOffsetCost evaluates the exact grid-metric realignment cost
+// Σ_e Σ_i w(i)·|π_src(i) − π_dst(i)| over all template axes, skipping
+// replicated edges.
+func ExactOffsetCost(g *adg.Graph, repl *ReplResult, offsets map[int][]expr.Affine) int64 {
+	var total int64
+	for t := 0; t < g.TemplateRank; t++ {
+		total += ExactOffsetCostAxis(g, repl, offsets, t)
+	}
+	return total
+}
+
+// ExactOffsetCostAxis evaluates the exact grid-metric cost on one axis,
+// scaling conditional-arm edges by their §6 control weights.
+func ExactOffsetCostAxis(g *adg.Graph, repl *ReplResult, offsets map[int][]expr.Affine, t int) int64 {
+	var total int64
+	for _, e := range g.Edges {
+		if repl != nil && (repl.Replicated(e.Src, t) || repl.Replicated(e.Dst, t)) {
+			continue
+		}
+		span := offsets[e.Src.ID][t].Sub(offsets[e.Dst.ID][t])
+		if span.IsZero() {
+			continue
+		}
+		w := e.Weight()
+		sp := e.Space()
+		var edgeTotal int64
+		sp.Each(func(env map[string]int64) bool {
+			d := span.Eval(env)
+			if d < 0 {
+				d = -d
+			}
+			edgeTotal += w.Eval(env) * d
+			return true
+		})
+		if e.Control != 1 {
+			edgeTotal = int64(e.Control * float64(edgeTotal))
+		}
+		total += edgeTotal
+	}
+	return total
+}

@@ -1,0 +1,100 @@
+package align
+
+import (
+	"fmt"
+
+	"repro/internal/adg"
+	"repro/internal/expr"
+)
+
+// Options configures the full alignment pipeline.
+type Options struct {
+	// Offset configures the mobile offset solver (§4).
+	Offset OffsetOptions
+	// Replication enables replication labeling (§5). When false every
+	// port is non-replicated.
+	Replication bool
+	// ReplicationRounds bounds the replication ↔ offset iteration of §6
+	// (the chicken-and-egg between mobile offsets motivating replication
+	// and replication discarding edges from the offset problem).
+	// Default 2.
+	ReplicationRounds int
+}
+
+// Result is the complete alignment of a program's ADG.
+type Result struct {
+	Graph      *adg.Graph
+	AxisStride *AxisStrideResult
+	Repl       *ReplResult
+	Offset     *OffsetResult
+	// Assignment is the consolidated per-port alignment.
+	Assignment *adg.Assignment
+}
+
+// Align runs the full pipeline of the paper on an ADG: axis and (mobile)
+// stride alignment under the discrete metric (§3), replication labeling
+// by min-cut (§5), and mobile offset alignment by rounded linear
+// programming (§4), iterating the last two until quiescence (§6).
+func Align(g *adg.Graph, opts Options) (*Result, error) {
+	if opts.ReplicationRounds <= 0 {
+		opts.ReplicationRounds = 2
+	}
+	as, err := AxisStride(g)
+	if err != nil {
+		return nil, fmt.Errorf("align: axis/stride phase: %w", err)
+	}
+	repl := NoReplication(g)
+	var off *OffsetResult
+	if opts.Replication {
+		// Round 0 labels without mobility information; subsequent rounds
+		// use the offsets of the previous round.
+		var mobile MobilePredicate
+		for round := 0; round < opts.ReplicationRounds; round++ {
+			repl, err = Replicate(g, as, mobile)
+			if err != nil {
+				return nil, fmt.Errorf("align: replication phase: %w", err)
+			}
+			off, err = Offsets(g, as, repl, opts.Offset)
+			if err != nil {
+				return nil, err
+			}
+			prev := off
+			mobile = func(p *adg.Port, t int) bool {
+				return !prev.Offsets[p.ID][t].IsConst()
+			}
+		}
+	} else {
+		// Even without replication labeling, spreads force their inputs
+		// replicated (§5.2 constraint 2) — Figure 4's per-iteration
+		// broadcast baseline.
+		repl = ReplicateForced(g, as)
+		off, err = Offsets(g, as, repl, opts.Offset)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res := &Result{Graph: g, AxisStride: as, Repl: repl, Offset: off}
+	res.Assignment = res.BuildAssignment()
+	return res, nil
+}
+
+// BuildAssignment consolidates the phase outputs into per-port
+// alignments. It is exported so callers composing the phases manually
+// (e.g. mobile-vs-static experiments) can evaluate their own results.
+func (r *Result) BuildAssignment() *adg.Assignment {
+	asg := adg.NewAssignment(r.Graph)
+	for _, p := range r.Graph.Ports {
+		label := r.AxisStride.Labels[p.ID]
+		a := adg.Alignment{
+			AxisMap:    append([]int{}, label.AxisMap...),
+			Stride:     append([]expr.Affine{}, label.Stride...),
+			Offset:     append([]expr.Affine{}, r.Offset.Offsets[p.ID]...),
+			Replicated: make([]bool, r.Graph.TemplateRank),
+		}
+		for t := 0; t < r.Graph.TemplateRank; t++ {
+			a.Replicated[t] = r.Repl.Replicated(p, t)
+		}
+		asg.Set(p, a)
+	}
+	return asg
+}

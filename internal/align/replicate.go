@@ -1,0 +1,261 @@
+package align
+
+import (
+	"fmt"
+
+	"repro/internal/adg"
+	"repro/internal/netflow"
+)
+
+// ReplResult is the outcome of replication labeling (§5): per-port,
+// per-template-axis replication labels and the broadcast volume implied
+// by the labeling (the min-cut value).
+type ReplResult struct {
+	// PortRepl[portID][t] reports a replicated offset on template axis t.
+	PortRepl map[int][]bool
+	// PerAxis[t] is the min-cut (broadcast) volume on axis t.
+	PerAxis []int64
+	// Broadcast is the total broadcast volume over all axes.
+	Broadcast int64
+	// CutEdges[t] lists the ADG edges that carry a broadcast on axis t
+	// (tail non-replicated, head replicated).
+	CutEdges [][]*adg.Edge
+}
+
+// Replicated reports whether port p is replicated on axis t.
+func (r *ReplResult) Replicated(p *adg.Port, t int) bool {
+	if v, ok := r.PortRepl[p.ID]; ok {
+		return v[t]
+	}
+	return false
+}
+
+// NoReplication returns a labeling with every port non-replicated.
+func NoReplication(g *adg.Graph) *ReplResult {
+	r := &ReplResult{
+		PortRepl: map[int][]bool{},
+		PerAxis:  make([]int64, g.TemplateRank),
+		CutEdges: make([][]*adg.Edge, g.TemplateRank),
+	}
+	for _, p := range g.Ports {
+		r.PortRepl[p.ID] = make([]bool, g.TemplateRank)
+	}
+	return r
+}
+
+// MobilePredicate reports whether the object at port p currently has a
+// mobile offset on template axis t; used for the §5.1 source "a read-only
+// object with mobile offset alignment in a space axis can be realized
+// through replication". Pass nil on the first round of the
+// replication/offset iteration (§6).
+type MobilePredicate func(p *adg.Port, t int) bool
+
+// Replicate performs replication labeling by network flow (Theorem 1),
+// independently for each template axis. Constraints (§5.2): ports whose
+// current axis is a body axis are N; a spread along the current axis has
+// its input R and its output N; read-only objects with mobile offsets on
+// a space axis are R; lookup tables feeding gathers are R on their space
+// axes; all ports of every other node share one label. Subject to these,
+// the completion minimizing the total weight of N→R edges is a min cut.
+func Replicate(g *adg.Graph, as *AxisStrideResult, mobile MobilePredicate) (*ReplResult, error) {
+	res := NoReplication(g)
+	for t := 0; t < g.TemplateRank; t++ {
+		if err := replicateAxis(g, as, mobile, t, res); err != nil {
+			return nil, err
+		}
+	}
+	for _, v := range res.PerAxis {
+		res.Broadcast += v
+	}
+	return res, nil
+}
+
+// replicateAxis labels one template axis.
+func replicateAxis(g *adg.Graph, as *AxisStrideResult, mobile MobilePredicate, t int, res *ReplResult) error {
+	// Vertices: one per node; spreads along t and gathers get their
+	// special input port split out as an extra vertex.
+	const (
+		labelFree = iota
+		labelN
+		labelR
+	)
+	nv := len(g.Nodes)
+	vertexOfPort := make(map[int]int, len(g.Ports)) // port ID → vertex
+	labels := make([]int, nv, nv+len(g.Nodes)+2)
+
+	bodyAxis := func(p *adg.Port) bool {
+		l, ok := as.Labels[p.ID]
+		if !ok {
+			return false
+		}
+		for _, a := range l.AxisMap {
+			if a == t {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, n := range g.Nodes {
+		for _, p := range append(append([]*adg.Port{}, n.In...), n.Out...) {
+			vertexOfPort[p.ID] = n.ID
+		}
+	}
+	// Split special input ports into their own vertices.
+	addSplit := func(p *adg.Port, lab int) {
+		v := len(labels)
+		labels = append(labels, lab)
+		vertexOfPort[p.ID] = v
+	}
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case adg.KindSpread:
+			// Spread along the current axis: input R, output N (§5.2
+			// constraint 2). The spread axis is where the output's new
+			// body axis lands.
+			outLabel := as.Labels[n.Out[0].ID]
+			spreadAxis := -1
+			if n.SpreadDim-1 < len(outLabel.AxisMap) {
+				spreadAxis = outLabel.AxisMap[n.SpreadDim-1]
+			}
+			if spreadAxis == t {
+				addSplit(n.In[0], labelR)
+				labels[n.ID] = labelN
+			}
+		case adg.KindGather:
+			// Lookup tables are replicated on their space axes (§5.1).
+			for _, p := range n.In[1:] {
+				if !bodyAxis(p) {
+					addSplit(p, labelR)
+				}
+			}
+		}
+	}
+	// Apply N/R constraints on whole-node vertices.
+	for _, n := range g.Nodes {
+		for _, p := range append(append([]*adg.Port{}, n.In...), n.Out...) {
+			v := vertexOfPort[p.ID]
+			if v >= nv {
+				continue // split vertex, already labeled
+			}
+			if bodyAxis(p) {
+				if labels[v] == labelR {
+					return fmt.Errorf("align: node %d needs both N and R on axis %d", n.ID, t)
+				}
+				labels[v] = labelN
+				continue
+			}
+			// Read-only mobile-offset source objects on a space axis may
+			// be realized through replication (§5.1 source 3); all other
+			// array storage starts with a single distributed copy, so
+			// writable sources are N — this is what makes Figure 4's
+			// "one broadcast at loop entry" appear as the min cut.
+			if n.Kind == adg.KindSource {
+				if n.ReadOnly && mobile != nil && mobile(p, t) {
+					if labels[v] != labelN {
+						labels[v] = labelR
+					}
+				} else if !n.ReadOnly {
+					labels[v] = labelN
+				}
+			}
+		}
+	}
+
+	// Flow network: vertices + source s + sink tk.
+	total := len(labels) + 2
+	s, tk := total-2, total-1
+	fg := netflow.NewGraph(total)
+	type edgeRef struct {
+		adgEdge *adg.Edge
+		flowID  int
+	}
+	var refs []edgeRef
+	for _, e := range g.Edges {
+		u := vertexOfPort[e.Src.ID]
+		v := vertexOfPort[e.Dst.ID]
+		if u == v {
+			continue
+		}
+		w := int64(e.ExpectedWeight())
+		if w <= 0 {
+			w = 1
+		}
+		id := fg.AddEdge(u, v, w)
+		refs = append(refs, edgeRef{adgEdge: e, flowID: id})
+	}
+	for v, lab := range labels {
+		switch lab {
+		case labelN:
+			fg.AddEdge(s, v, netflow.Inf)
+		case labelR:
+			fg.AddEdge(v, tk, netflow.Inf)
+		}
+	}
+	r := fg.MaxFlow(s, tk)
+	if r.Value >= netflow.Inf {
+		return fmt.Errorf("align: infeasible replication labeling on axis %d", t)
+	}
+	side := r.SourceSide() // true = N side
+	res.PerAxis[t] = r.Value
+	for _, p := range g.Ports {
+		if !side[vertexOfPort[p.ID]] {
+			res.PortRepl[p.ID][t] = true
+		}
+	}
+	for _, er := range refs {
+		u := vertexOfPort[er.adgEdge.Src.ID]
+		v := vertexOfPort[er.adgEdge.Dst.ID]
+		if side[u] && !side[v] {
+			res.CutEdges[t] = append(res.CutEdges[t], er.adgEdge)
+		}
+	}
+	return nil
+}
+
+// ReplicateForced applies only the forced replication labels — spread
+// inputs along the spread axis and gathered lookup tables — without the
+// min-cut optimization. This is the "no replication labeling" baseline:
+// the program's own spreads still demand replicated inputs (§5.2
+// constraint 2 is a node constraint, not an optimization choice), so a
+// broadcast occurs on every iteration that feeds a spread.
+func ReplicateForced(g *adg.Graph, as *AxisStrideResult) *ReplResult {
+	res := NoReplication(g)
+	for t := 0; t < g.TemplateRank; t++ {
+		for _, n := range g.Nodes {
+			switch n.Kind {
+			case adg.KindSpread:
+				outLabel := as.Labels[n.Out[0].ID]
+				if n.SpreadDim-1 < len(outLabel.AxisMap) && outLabel.AxisMap[n.SpreadDim-1] == t {
+					res.PortRepl[n.In[0].ID][t] = true
+					e := n.In[0].Edge
+					if !res.PortRepl[e.Src.ID][t] {
+						res.PerAxis[t] += e.TotalWeight()
+						res.CutEdges[t] = append(res.CutEdges[t], e)
+					}
+				}
+			case adg.KindGather:
+				for _, p := range n.In[1:] {
+					body := false
+					for _, a := range as.Labels[p.ID].AxisMap {
+						if a == t {
+							body = true
+						}
+					}
+					if !body {
+						res.PortRepl[p.ID][t] = true
+						e := p.Edge
+						if !res.PortRepl[e.Src.ID][t] {
+							res.PerAxis[t] += e.TotalWeight()
+							res.CutEdges[t] = append(res.CutEdges[t], e)
+						}
+					}
+				}
+			}
+		}
+	}
+	for _, v := range res.PerAxis {
+		res.Broadcast += v
+	}
+	return res
+}

@@ -1,0 +1,163 @@
+// Package cost evaluates the realignment communication cost of an
+// alignment assignment on an ADG, per the model of §2.3: the cost of an
+// edge is the data weight times the distance between its two port
+// positions, summed over the edge's iteration space. Axis and stride
+// mismatches are charged under the discrete metric (general
+// communication); offset mismatches under the grid metric (shifts);
+// edges into replicated ports are broadcasts.
+package cost
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/adg"
+)
+
+// Breakdown decomposes the total realignment cost of a program.
+type Breakdown struct {
+	// General is the element volume moved by general communication
+	// (axis or stride mismatch; discrete metric × weight).
+	General int64
+	// GeneralEvents counts edge-iterations incurring general
+	// communication (the paper's "general communications per iteration").
+	GeneralEvents int64
+	// Shift is the weighted grid-metric (L1) offset distance.
+	Shift int64
+	// ShiftEvents counts edge-iterations with a nonzero offset shift.
+	ShiftEvents int64
+	// Broadcast is the element volume sent into replicated ports from
+	// non-replicated ports.
+	Broadcast int64
+	// BroadcastEvents counts edge-iterations incurring a broadcast.
+	BroadcastEvents int64
+}
+
+// Total returns a single scalar summary: element·hops of shift plus
+// element volume of general and broadcast communication.
+func (b Breakdown) Total() int64 { return b.General + b.Shift + b.Broadcast }
+
+// Add accumulates another breakdown.
+func (b *Breakdown) Add(o Breakdown) {
+	b.General += o.General
+	b.GeneralEvents += o.GeneralEvents
+	b.Shift += o.Shift
+	b.ShiftEvents += o.ShiftEvents
+	b.Broadcast += o.Broadcast
+	b.BroadcastEvents += o.BroadcastEvents
+}
+
+func (b Breakdown) String() string {
+	return fmt.Sprintf("general=%d (%d events), shift=%d (%d events), broadcast=%d (%d events), total=%d",
+		b.General, b.GeneralEvents, b.Shift, b.ShiftEvents,
+		b.Broadcast, b.BroadcastEvents, b.Total())
+}
+
+// Exact evaluates the full program cost of an assignment by enumerating
+// every edge's iteration space.
+func Exact(g *adg.Graph, asg *adg.Assignment) Breakdown {
+	var total Breakdown
+	for _, e := range g.Edges {
+		total.Add(EdgeCost(e, asg))
+	}
+	return total
+}
+
+// EdgeCost evaluates one edge's cost contribution, scaled by the edge's
+// §6 control weight (expected executions of conditional arms).
+func EdgeCost(e *adg.Edge, asg *adg.Assignment) Breakdown {
+	src := asg.Of(e.Src)
+	dst := asg.Of(e.Dst)
+	w := e.Weight()
+	var b Breakdown
+	scale := func(v int64) int64 {
+		if e.Control == 1 {
+			return v
+		}
+		return int64(e.Control * float64(v))
+	}
+	e.Space().Each(func(env map[string]int64) bool {
+		wt := w.Eval(env)
+		if wt == 0 {
+			return true
+		}
+		// Replication: tail replicated covers any head; head replicated
+		// with non-replicated tail is a broadcast (§5.1).
+		bcast := false
+		for t := range dst.Replicated {
+			if dst.Replicated[t] && !src.Replicated[t] {
+				bcast = true
+			}
+		}
+		if bcast {
+			b.Broadcast += scale(wt)
+			b.BroadcastEvents++
+			return true
+		}
+		if axisStrideMismatch(src, dst, env) {
+			b.General += scale(wt)
+			b.GeneralEvents++
+			return true
+		}
+		var d int64
+		for t := range src.Offset {
+			if src.Replicated[t] || dst.Replicated[t] {
+				continue
+			}
+			diff := src.Offset[t].Eval(env) - dst.Offset[t].Eval(env)
+			if diff < 0 {
+				diff = -diff
+			}
+			d += diff
+		}
+		if d > 0 {
+			b.Shift += scale(wt * d)
+			b.ShiftEvents++
+		}
+		return true
+	})
+	return b
+}
+
+func axisStrideMismatch(src, dst adg.Alignment, env map[string]int64) bool {
+	if len(src.AxisMap) != len(dst.AxisMap) {
+		return true
+	}
+	for d := range src.AxisMap {
+		if src.AxisMap[d] != dst.AxisMap[d] {
+			return true
+		}
+		if src.Stride[d].Eval(env) != dst.Stride[d].Eval(env) {
+			return true
+		}
+	}
+	return false
+}
+
+// Report renders a per-edge cost table for the costliest edges.
+func Report(g *adg.Graph, asg *adg.Assignment, top int) string {
+	type row struct {
+		e *adg.Edge
+		b Breakdown
+	}
+	rows := make([]row, 0, len(g.Edges))
+	for _, e := range g.Edges {
+		b := EdgeCost(e, asg)
+		if b.Total() > 0 {
+			rows = append(rows, row{e, b})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].b.Total() > rows[j].b.Total() })
+	if top > 0 && len(rows) > top {
+		rows = rows[:top]
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-6s %-30s %-30s %s\n", "edge", "from", "to", "cost")
+	for _, r := range rows {
+		from := fmt.Sprintf("%s %q", r.e.Src.Node.Kind, r.e.Src.Node.Label)
+		to := fmt.Sprintf("%s %q", r.e.Dst.Node.Kind, r.e.Dst.Node.Label)
+		fmt.Fprintf(&sb, "e%-5d %-30s %-30s %s\n", r.e.ID, from, to, r.b)
+	}
+	return sb.String()
+}

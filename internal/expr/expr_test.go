@@ -1,0 +1,282 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/space"
+)
+
+func TestAffineBasics(t *testing.T) {
+	a := Axpy(2, "k", 3) // 2k + 3
+	b := Axpy(-2, "k", 1)
+	sum := a.Add(b)
+	if !sum.IsConst() || sum.ConstPart() != 4 {
+		t.Errorf("sum = %v, want 4", sum)
+	}
+	if a.Eval(map[string]int64{"k": 5}) != 13 {
+		t.Errorf("eval wrong")
+	}
+	if a.Coef("k") != 2 || a.Coef("j") != 0 {
+		t.Errorf("coef wrong")
+	}
+	if got := a.Sub(a); !got.IsZero() {
+		t.Errorf("a-a = %v", got)
+	}
+}
+
+func TestAffineSubst(t *testing.T) {
+	a := Axpy(2, "k", 1)                    // 2k+1
+	b := a.Subst("k", Var("k").AddConst(3)) // 2(k+3)+1 = 2k+7
+	want := Axpy(2, "k", 7)
+	if !b.Equal(want) {
+		t.Errorf("subst = %v, want %v", b, want)
+	}
+	c := a.Subst("k", Const(10))
+	if !c.IsConst() || c.ConstPart() != 21 {
+		t.Errorf("subst const = %v", c)
+	}
+}
+
+func TestAffineString(t *testing.T) {
+	cases := []struct {
+		a    Affine
+		want string
+	}{
+		{Const(0), "0"},
+		{Const(-5), "-5"},
+		{Var("k"), "k"},
+		{Axpy(2, "k", -3), "2k - 3"},
+		{Axpy(-1, "k", 1), "-k + 1"},
+		{NewAffine(2, map[string]int64{"j": 1, "k": -4}), "j - 4k + 2"},
+	}
+	for _, c := range cases {
+		if got := c.a.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// Property: affine arithmetic agrees with pointwise evaluation.
+func TestAffineArithmeticProperty(t *testing.T) {
+	f := func(c1, k1, c2, k2 int16, kv int8) bool {
+		a := Axpy(int64(k1), "k", int64(c1))
+		b := Axpy(int64(k2), "k", int64(c2))
+		env := map[string]int64{"k": int64(kv)}
+		if a.Add(b).Eval(env) != a.Eval(env)+b.Eval(env) {
+			return false
+		}
+		if a.Sub(b).Eval(env) != a.Eval(env)-b.Eval(env) {
+			return false
+		}
+		if a.Scale(3).Eval(env) != 3*a.Eval(env) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolyBasics(t *testing.T) {
+	k := PolyVar("k")
+	p := k.Mul(k).Add(k.ScaleInt(2)).Add(PolyConst(1)) // k² + 2k + 1
+	if p.Degree() != 2 {
+		t.Errorf("degree = %d", p.Degree())
+	}
+	env := map[string]int64{"k": 4}
+	if p.Eval(env) != 25 {
+		t.Errorf("eval = %d, want 25", p.Eval(env))
+	}
+	q := k.Add(PolyConst(1)).Mul(k.Add(PolyConst(1))) // (k+1)²
+	if !p.Equal(q) {
+		t.Errorf("%v != %v", p, q)
+	}
+}
+
+func TestPolySubst(t *testing.T) {
+	k, j := PolyVar("k"), PolyVar("j")
+	p := k.Mul(k) // k²
+	got := p.Subst("k", j.Add(PolyConst(1)))
+	want := j.Mul(j).Add(j.ScaleInt(2)).Add(PolyConst(1))
+	if !got.Equal(want) {
+		t.Errorf("subst = %v, want %v", got, want)
+	}
+}
+
+// Property: polynomial ring laws (commutativity, distributivity) hold
+// pointwise on random evaluations.
+func TestPolyRingProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	randPoly := func() Poly {
+		p := PolyConst(int64(rng.Intn(7) - 3))
+		for i := 0; i < rng.Intn(3); i++ {
+			v := []string{"j", "k"}[rng.Intn(2)]
+			term := PolyVar(v).ScaleInt(int64(rng.Intn(5) - 2))
+			if rng.Intn(2) == 0 {
+				term = term.Mul(PolyVar(v))
+			}
+			p = p.Add(term)
+		}
+		return p
+	}
+	for trial := 0; trial < 200; trial++ {
+		a, b, c := randPoly(), randPoly(), randPoly()
+		env := map[string]int64{"j": int64(rng.Intn(9) - 4), "k": int64(rng.Intn(9) - 4)}
+		av, bv, cv := a.Eval(env), b.Eval(env), c.Eval(env)
+		if a.Mul(b).Eval(env) != av*bv {
+			t.Fatalf("mul mismatch")
+		}
+		if !a.Mul(b).Equal(b.Mul(a)) {
+			t.Fatalf("mul not commutative")
+		}
+		if a.Mul(b.Add(c)).Eval(env) != av*(bv+cv) {
+			t.Fatalf("distributivity fails")
+		}
+	}
+}
+
+func TestPowerSumAgainstBruteForce(t *testing.T) {
+	for m := 0; m <= maxPowerSum; m++ {
+		for n := int64(0); n <= 30; n++ {
+			var want int64
+			for j := int64(0); j < n; j++ {
+				p := int64(1)
+				for e := 0; e < m; e++ {
+					p *= j
+				}
+				want += p
+			}
+			if got := PowerSum(m, n); got != want {
+				t.Errorf("PowerSum(%d, %d) = %d, want %d", m, n, got, want)
+			}
+		}
+	}
+}
+
+func TestSigmaClosedForms(t *testing.T) {
+	// σ0, σ1, σ2 of §4.3 against brute force over assorted triplets.
+	cases := []space.Triplet{
+		space.NewTriplet(1, 100, 1),
+		space.NewTriplet(5, 50, 3),
+		space.NewTriplet(-10, 10, 2),
+		space.NewTriplet(7, 7, 1),
+		space.NewTriplet(10, 1, -2),
+	}
+	for _, tr := range cases {
+		var s0, s1, s2 int64
+		for _, i := range tr.Values() {
+			s0++
+			s1 += i
+			s2 += i * i
+		}
+		if got := Sigma0(tr); got != s0 {
+			t.Errorf("Sigma0(%v) = %d, want %d", tr, got, s0)
+		}
+		if got := Sigma1(tr); got != s1 {
+			t.Errorf("Sigma1(%v) = %d, want %d", tr, got, s1)
+		}
+		if got := Sigma2(tr); got != s2 {
+			t.Errorf("Sigma2(%v) = %d, want %d", tr, got, s2)
+		}
+	}
+}
+
+// Property: SumOverTriplet equals brute-force summation for random
+// polynomials and triplets.
+func TestSumOverTripletProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 300; trial++ {
+		lo := int64(rng.Intn(20) - 10)
+		step := int64(rng.Intn(5) + 1)
+		cnt := int64(rng.Intn(20) + 1)
+		tr := space.Triplet{Lo: lo, Hi: lo + (cnt-1)*step, Step: step}
+		// Random poly in i (deg ≤ 3) and j (deg ≤ 1).
+		p := PolyConst(int64(rng.Intn(9) - 4))
+		for d := 1; d <= 3; d++ {
+			c := int64(rng.Intn(7) - 3)
+			term := PolyConst(c)
+			for e := 0; e < d; e++ {
+				term = term.Mul(PolyVar("i"))
+			}
+			p = p.Add(term)
+		}
+		p = p.Add(PolyVar("j").ScaleInt(int64(rng.Intn(5) - 2)))
+		got := SumOverTriplet(p, "i", tr)
+		jv := int64(rng.Intn(7) - 3)
+		var want int64
+		for _, iv := range tr.Values() {
+			want += p.Eval(map[string]int64{"i": iv, "j": jv})
+		}
+		if got.Eval(map[string]int64{"j": jv}) != want {
+			t.Fatalf("trial %d: SumOverTriplet(%v over %v) = %v (at j=%d: %d), want %d",
+				trial, p, tr, got, jv, got.Eval(map[string]int64{"j": jv}), want)
+		}
+	}
+}
+
+func TestSumOverSpace(t *testing.T) {
+	// Σ_{k=1..10} Σ_{j=1..k? no: rectangular} j·k over 1..10 × 1..5.
+	s := space.NewSpace(space.NewTriplet(1, 10, 1), space.NewTriplet(1, 5, 1))
+	p := PolyVar("k").Mul(PolyVar("j"))
+	got := SumOverSpace(p, []string{"k", "j"}, s)
+	c, ok := got.IsConst()
+	if !ok {
+		t.Fatalf("not constant: %v", got)
+	}
+	want := int64(55 * 15)
+	if c != want {
+		t.Errorf("SumOverSpace = %d, want %d", c, want)
+	}
+}
+
+func TestSplitAtZeroCrossing(t *testing.T) {
+	// span(i) = i - 5 over 1..10 → [1..4], [5..10] (0 counts nonnegative).
+	parts := SplitAtZeroCrossing(Axpy(1, "i", -5), "i", space.NewTriplet(1, 10, 1))
+	if len(parts) != 2 {
+		t.Fatalf("parts = %v", parts)
+	}
+	if parts[0].Last() != 4 || parts[1].Lo != 5 {
+		t.Errorf("split at wrong place: %v", parts)
+	}
+	// No crossing.
+	parts = SplitAtZeroCrossing(Axpy(1, "i", 100), "i", space.NewTriplet(1, 10, 1))
+	if len(parts) != 1 {
+		t.Errorf("unexpected split: %v", parts)
+	}
+	// Constant span.
+	parts = SplitAtZeroCrossing(Const(-3), "i", space.NewTriplet(1, 10, 1))
+	if len(parts) != 1 {
+		t.Errorf("constant span split: %v", parts)
+	}
+}
+
+// Property: SumAbsAffineOverTriplet equals brute force.
+func TestSumAbsAffineProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 300; trial++ {
+		// Nonnegative index range and weight coefficients: data weights
+		// are object sizes, never negative.
+		lo := int64(rng.Intn(15))
+		step := int64(rng.Intn(4) + 1)
+		cnt := int64(rng.Intn(25) + 1)
+		tr := space.Triplet{Lo: lo, Hi: lo + (cnt-1)*step, Step: step}
+		w := Axpy(int64(rng.Intn(3)), "i", int64(rng.Intn(10)+1))
+		a := Axpy(int64(rng.Intn(7)-3), "i", int64(rng.Intn(21)-10))
+		got := SumAbsAffineOverTriplet(w, a, "i", tr)
+		var want int64
+		for _, iv := range tr.Values() {
+			env := map[string]int64{"i": iv}
+			av := a.Eval(env)
+			if av < 0 {
+				av = -av
+			}
+			want += w.Eval(env) * av
+		}
+		if got != want {
+			t.Fatalf("trial %d: got %d, want %d (w=%v a=%v over %v)", trial, got, want, w, a, tr)
+		}
+	}
+}

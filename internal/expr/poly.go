@@ -1,0 +1,278 @@
+package expr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Poly is a multivariate polynomial with int64 coefficients over named
+// integer variables. Data weights (§2.3) and the per-edge communication
+// sums of §4.3 are polynomials in the loop induction variables. The zero
+// value is the zero polynomial. Poly values are immutable.
+type Poly struct {
+	monos []Mono // sorted by canonical key, no zero coefficients
+}
+
+// Mono is one monomial Coef·Π Var^Exp.
+type Mono struct {
+	Coef int64
+	Pows []Pow // sorted by Var, exponents >= 1
+}
+
+// Pow is one factor Var^Exp of a monomial.
+type Pow struct {
+	Var string
+	Exp int
+}
+
+func (m Mono) key() string {
+	parts := make([]string, len(m.Pows))
+	for i, p := range m.Pows {
+		parts[i] = fmt.Sprintf("%s^%d", p.Var, p.Exp)
+	}
+	return strings.Join(parts, "*")
+}
+
+// PolyConst returns the constant polynomial c.
+func PolyConst(c int64) Poly {
+	if c == 0 {
+		return Poly{}
+	}
+	return Poly{monos: []Mono{{Coef: c}}}
+}
+
+// PolyVar returns the polynomial consisting of the single variable.
+func PolyVar(name string) Poly {
+	return Poly{monos: []Mono{{Coef: 1, Pows: []Pow{{Var: name, Exp: 1}}}}}
+}
+
+func normalize(ms []Mono) Poly {
+	byKey := map[string]Mono{}
+	for _, m := range ms {
+		k := m.key()
+		if cur, ok := byKey[k]; ok {
+			cur.Coef += m.Coef
+			byKey[k] = cur
+		} else {
+			byKey[k] = m
+		}
+	}
+	out := make([]Mono, 0, len(byKey))
+	for _, m := range byKey {
+		if m.Coef != 0 {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	return Poly{monos: out}
+}
+
+// Monomials returns a copy of the monomials in canonical order.
+func (p Poly) Monomials() []Mono {
+	cp := make([]Mono, len(p.monos))
+	copy(cp, p.monos)
+	return cp
+}
+
+// IsZero reports whether p is the zero polynomial.
+func (p Poly) IsZero() bool { return len(p.monos) == 0 }
+
+// IsConst reports whether p has no variables, returning the constant.
+func (p Poly) IsConst() (int64, bool) {
+	switch len(p.monos) {
+	case 0:
+		return 0, true
+	case 1:
+		if len(p.monos[0].Pows) == 0 {
+			return p.monos[0].Coef, true
+		}
+	}
+	return 0, false
+}
+
+// Degree returns the total degree (-1 for the zero polynomial).
+func (p Poly) Degree() int {
+	d := -1
+	for _, m := range p.monos {
+		td := 0
+		for _, pw := range m.Pows {
+			td += pw.Exp
+		}
+		if td > d {
+			d = td
+		}
+	}
+	return d
+}
+
+// DegreeIn returns the degree in the named variable.
+func (p Poly) DegreeIn(name string) int {
+	d := 0
+	for _, m := range p.monos {
+		for _, pw := range m.Pows {
+			if pw.Var == name && pw.Exp > d {
+				d = pw.Exp
+			}
+		}
+	}
+	return d
+}
+
+// Vars returns the set of variables appearing in p, sorted.
+func (p Poly) Vars() []string {
+	set := map[string]bool{}
+	for _, m := range p.monos {
+		for _, pw := range m.Pows {
+			set[pw.Var] = true
+		}
+	}
+	vs := make([]string, 0, len(set))
+	for v := range set {
+		vs = append(vs, v)
+	}
+	sort.Strings(vs)
+	return vs
+}
+
+// Add returns p + q.
+func (p Poly) Add(q Poly) Poly {
+	ms := make([]Mono, 0, len(p.monos)+len(q.monos))
+	ms = append(ms, p.monos...)
+	ms = append(ms, q.monos...)
+	return normalize(ms)
+}
+
+// Sub returns p - q.
+func (p Poly) Sub(q Poly) Poly { return p.Add(q.ScaleInt(-1)) }
+
+// ScaleInt returns k·p.
+func (p Poly) ScaleInt(k int64) Poly {
+	if k == 0 {
+		return Poly{}
+	}
+	ms := make([]Mono, len(p.monos))
+	for i, m := range p.monos {
+		ms[i] = Mono{Coef: m.Coef * k, Pows: m.Pows}
+	}
+	return Poly{monos: ms}
+}
+
+// Mul returns p · q.
+func (p Poly) Mul(q Poly) Poly {
+	ms := make([]Mono, 0, len(p.monos)*len(q.monos))
+	for _, a := range p.monos {
+		for _, b := range q.monos {
+			ms = append(ms, mulMono(a, b))
+		}
+	}
+	return normalize(ms)
+}
+
+func mulMono(a, b Mono) Mono {
+	pows := map[string]int{}
+	for _, pw := range a.Pows {
+		pows[pw.Var] += pw.Exp
+	}
+	for _, pw := range b.Pows {
+		pows[pw.Var] += pw.Exp
+	}
+	out := Mono{Coef: a.Coef * b.Coef}
+	for v, e := range pows {
+		out.Pows = append(out.Pows, Pow{Var: v, Exp: e})
+	}
+	sort.Slice(out.Pows, func(i, j int) bool { return out.Pows[i].Var < out.Pows[j].Var })
+	return out
+}
+
+// Eval evaluates the polynomial under the given assignment. Missing
+// variables evaluate as 0.
+func (p Poly) Eval(env map[string]int64) int64 {
+	total := int64(0)
+	for _, m := range p.monos {
+		v := m.Coef
+		for _, pw := range m.Pows {
+			x := env[pw.Var]
+			for e := 0; e < pw.Exp; e++ {
+				v *= x
+			}
+		}
+		total += v
+	}
+	return total
+}
+
+// Subst replaces the named variable with the polynomial r.
+func (p Poly) Subst(name string, r Poly) Poly {
+	out := Poly{}
+	for _, m := range p.monos {
+		term := PolyConst(m.Coef)
+		for _, pw := range m.Pows {
+			var base Poly
+			if pw.Var == name {
+				base = r
+			} else {
+				base = PolyVar(pw.Var)
+			}
+			for e := 0; e < pw.Exp; e++ {
+				term = term.Mul(base)
+			}
+		}
+		out = out.Add(term)
+	}
+	return out
+}
+
+// Equal reports whether p and q are the same polynomial.
+func (p Poly) Equal(q Poly) bool {
+	if len(p.monos) != len(q.monos) {
+		return false
+	}
+	for i := range p.monos {
+		a, b := p.monos[i], q.monos[i]
+		if a.Coef != b.Coef || len(a.Pows) != len(b.Pows) {
+			return false
+		}
+		for j := range a.Pows {
+			if a.Pows[j] != b.Pows[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the polynomial in canonical monomial order.
+func (p Poly) String() string {
+	if len(p.monos) == 0 {
+		return "0"
+	}
+	var b strings.Builder
+	for i, m := range p.monos {
+		c := m.Coef
+		if i == 0 {
+			if c < 0 {
+				b.WriteString("-")
+				c = -c
+			}
+		} else {
+			if c < 0 {
+				b.WriteString(" - ")
+				c = -c
+			} else {
+				b.WriteString(" + ")
+			}
+		}
+		if c != 1 || len(m.Pows) == 0 {
+			fmt.Fprintf(&b, "%d", c)
+		}
+		for _, pw := range m.Pows {
+			if pw.Exp == 1 {
+				fmt.Fprintf(&b, "%s", pw.Var)
+			} else {
+				fmt.Fprintf(&b, "%s^%d", pw.Var, pw.Exp)
+			}
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,623 @@
+// Package interp is a sequential reference interpreter for the mini
+// data-parallel language. It executes programs with real array values,
+// giving the ground truth the machine simulator's communication replay is
+// validated against: alignment must never change program semantics, so
+// the interpreter is alignment-oblivious.
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/lang"
+)
+
+// Array is a dense rank-d array with Fortran-style 1-based indexing and
+// column-agnostic row-major storage.
+type Array struct {
+	Dims []int64
+	Data []float64
+}
+
+// NewArray allocates a zero array.
+func NewArray(dims ...int64) *Array {
+	n := int64(1)
+	for _, d := range dims {
+		n *= d
+	}
+	return &Array{Dims: append([]int64{}, dims...), Data: make([]float64, n)}
+}
+
+// Clone deep-copies the array.
+func (a *Array) Clone() *Array {
+	cp := &Array{Dims: append([]int64{}, a.Dims...), Data: append([]float64{}, a.Data...)}
+	return cp
+}
+
+// Rank returns the number of dimensions.
+func (a *Array) Rank() int { return len(a.Dims) }
+
+// Size returns the element count.
+func (a *Array) Size() int64 { return int64(len(a.Data)) }
+
+// offset computes the linear offset of a 1-based index vector.
+func (a *Array) offset(idx []int64) int64 {
+	off := int64(0)
+	for d, i := range idx {
+		if i < 1 || i > a.Dims[d] {
+			panic(fmt.Sprintf("interp: index %d out of bounds 1..%d in dim %d", i, a.Dims[d], d+1))
+		}
+		off = off*a.Dims[d] + (i - 1)
+	}
+	return off
+}
+
+// At returns the element at a 1-based index vector.
+func (a *Array) At(idx ...int64) float64 { return a.Data[a.offset(idx)] }
+
+// Set stores the element at a 1-based index vector.
+func (a *Array) Set(v float64, idx ...int64) { a.Data[a.offset(idx)] = v }
+
+// Machine state: array name → value.
+type state struct {
+	arrays map[string]*Array
+	livs   map[string]int64
+	info   *lang.Info
+}
+
+// Run executes the program from zero-initialized arrays and returns the
+// final array values.
+func Run(info *lang.Info) (map[string]*Array, error) {
+	return RunFrom(info, nil)
+}
+
+// RunFrom executes the program from the given initial values (missing
+// arrays are zero-initialized). Initial arrays are cloned, not mutated.
+func RunFrom(info *lang.Info, init map[string]*Array) (map[string]*Array, error) {
+	st := &state{arrays: map[string]*Array{}, livs: map[string]int64{}, info: info}
+	for _, d := range info.Program.Decls {
+		if a, ok := init[d.Name]; ok {
+			if len(a.Dims) != len(d.Dims) {
+				return nil, fmt.Errorf("interp: initial value for %q has rank %d, want %d", d.Name, len(a.Dims), len(d.Dims))
+			}
+			st.arrays[d.Name] = a.Clone()
+		} else {
+			st.arrays[d.Name] = NewArray(d.Dims...)
+		}
+	}
+	if err := st.stmts(info.Program.Stmts); err != nil {
+		return nil, err
+	}
+	return st.arrays, nil
+}
+
+func (st *state) stmts(ss []lang.Stmt) error {
+	for _, s := range ss {
+		if err := st.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (st *state) stmt(s lang.Stmt) error {
+	switch stmt := s.(type) {
+	case *lang.Assign:
+		return st.assign(stmt)
+	case *lang.Do:
+		lo, err := st.scalarInt(stmt.Lo)
+		if err != nil {
+			return err
+		}
+		hi, err := st.scalarInt(stmt.Hi)
+		if err != nil {
+			return err
+		}
+		step := int64(1)
+		if stmt.Step != nil {
+			if step, err = st.scalarInt(stmt.Step); err != nil {
+				return err
+			}
+			if step == 0 {
+				return fmt.Errorf("interp: zero loop step")
+			}
+		}
+		for k := lo; (step > 0 && k <= hi) || (step < 0 && k >= hi); k += step {
+			st.livs[stmt.Var] = k
+			if err := st.stmts(stmt.Body); err != nil {
+				return err
+			}
+		}
+		delete(st.livs, stmt.Var)
+		return nil
+	case *lang.If:
+		cond, err := st.eval(stmt.Cond)
+		if err != nil {
+			return err
+		}
+		truth := false
+		if cond.Rank() == 0 {
+			truth = cond.Data[0] != 0
+		} else {
+			// Array condition: true if any element nonzero.
+			for _, v := range cond.Data {
+				if v != 0 {
+					truth = true
+					break
+				}
+			}
+		}
+		if truth {
+			return st.stmts(stmt.Then)
+		}
+		return st.stmts(stmt.Else)
+	}
+	return fmt.Errorf("interp: unknown statement %T", s)
+}
+
+// scalar wraps a float as a rank-0 array.
+func scalar(v float64) *Array {
+	return &Array{Dims: nil, Data: []float64{v}}
+}
+
+func (st *state) scalarInt(e lang.Expr) (int64, error) {
+	a, err := st.eval(e)
+	if err != nil {
+		return 0, err
+	}
+	if a.Rank() != 0 {
+		return 0, fmt.Errorf("interp: expected scalar")
+	}
+	return int64(a.Data[0]), nil
+}
+
+func (st *state) assign(a *lang.Assign) error {
+	rhs, err := st.eval(a.RHS)
+	if err != nil {
+		return err
+	}
+	dst := st.arrays[a.LHS.Name]
+	if dst == nil {
+		return fmt.Errorf("interp: assignment to undeclared %q", a.LHS.Name)
+	}
+	if len(a.LHS.Subs) == 0 {
+		// Whole-array assignment (with scalar fill).
+		if rhs.Rank() == 0 {
+			for i := range dst.Data {
+				dst.Data[i] = rhs.Data[0]
+			}
+			return nil
+		}
+		if rhs.Size() != dst.Size() {
+			return fmt.Errorf("interp: size mismatch assigning %q: %d vs %d", a.LHS.Name, rhs.Size(), dst.Size())
+		}
+		copy(dst.Data, rhs.Data)
+		return nil
+	}
+	// Section assignment.
+	idxSets, err := st.sectionIndices(a.LHS, dst)
+	if err != nil {
+		return err
+	}
+	// Enumerate the Cartesian product of index sets; range dims advance
+	// through the RHS in order.
+	count := int64(1)
+	for _, s := range idxSets {
+		if len(s.values) > 0 {
+			count *= int64(len(s.values))
+		}
+	}
+	if rhs.Rank() != 0 && rhs.Size() != count {
+		return fmt.Errorf("interp: section size %d != rhs size %d", count, rhs.Size())
+	}
+	pos := int64(0)
+	idx := make([]int64, len(idxSets))
+	var rec func(d int) error
+	rec = func(d int) error {
+		if d == len(idxSets) {
+			v := rhs.Data[0]
+			if rhs.Rank() != 0 {
+				v = rhs.Data[pos]
+			}
+			dst.Set(v, idx...)
+			pos++
+			return nil
+		}
+		s := idxSets[d]
+		if len(s.values) == 0 {
+			idx[d] = s.single
+			return rec(d + 1)
+		}
+		for _, v := range s.values {
+			idx[d] = v
+			if err := rec(d + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return rec(0)
+}
+
+// idxSet is one dimension's index set: either a single index or a list.
+type idxSet struct {
+	single int64
+	values []int64
+}
+
+func (st *state) sectionIndices(ref *lang.ArrayRef, arr *Array) ([]idxSet, error) {
+	sets := make([]idxSet, len(ref.Subs))
+	for d, sub := range ref.Subs {
+		if !sub.IsRange {
+			// Vector subscript?
+			if vr, ok := sub.Index.(*lang.ArrayRef); ok && len(vr.Subs) == 0 {
+				if tbl, exists := st.arrays[vr.Name]; exists && tbl.Rank() == 1 {
+					vals := make([]int64, len(tbl.Data))
+					for i, v := range tbl.Data {
+						vals[i] = int64(v)
+					}
+					sets[d] = idxSet{values: vals}
+					continue
+				}
+			}
+			v, err := st.scalarInt(sub.Index)
+			if err != nil {
+				return nil, err
+			}
+			sets[d] = idxSet{single: v}
+			continue
+		}
+		lo, hi, step := int64(1), arr.Dims[d], int64(1)
+		var err error
+		if sub.Lo != nil {
+			if lo, err = st.scalarInt(sub.Lo); err != nil {
+				return nil, err
+			}
+		}
+		if sub.Hi != nil {
+			if hi, err = st.scalarInt(sub.Hi); err != nil {
+				return nil, err
+			}
+		}
+		if sub.Step != nil {
+			if step, err = st.scalarInt(sub.Step); err != nil {
+				return nil, err
+			}
+		}
+		var vals []int64
+		for i := lo; (step > 0 && i <= hi) || (step < 0 && i >= hi); i += step {
+			vals = append(vals, i)
+		}
+		sets[d] = idxSet{values: vals}
+	}
+	return sets, nil
+}
+
+func (st *state) eval(e lang.Expr) (*Array, error) {
+	switch ex := e.(type) {
+	case *lang.Num:
+		return scalar(float64(ex.Val)), nil
+	case *lang.ArrayRef:
+		return st.evalRef(ex)
+	case *lang.BinOp:
+		l, err := st.eval(ex.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := st.eval(ex.R)
+		if err != nil {
+			return nil, err
+		}
+		return elementwise(ex.Op, l, r)
+	case *lang.Call:
+		return st.evalCall(ex)
+	}
+	return nil, fmt.Errorf("interp: unknown expression %T", e)
+}
+
+func (st *state) evalRef(ref *lang.ArrayRef) (*Array, error) {
+	if v, ok := st.livs[ref.Name]; ok {
+		return scalar(float64(v)), nil
+	}
+	arr := st.arrays[ref.Name]
+	if arr == nil {
+		return nil, fmt.Errorf("interp: unknown array %q", ref.Name)
+	}
+	if len(ref.Subs) == 0 {
+		return arr.Clone(), nil
+	}
+	sets, err := st.sectionIndices(ref, arr)
+	if err != nil {
+		return nil, err
+	}
+	var dims []int64
+	for _, s := range sets {
+		if len(s.values) > 0 {
+			dims = append(dims, int64(len(s.values)))
+		}
+	}
+	out := NewArray(dims...)
+	pos := 0
+	idx := make([]int64, len(sets))
+	var rec func(d int)
+	rec = func(d int) {
+		if d == len(sets) {
+			out.Data[pos] = arr.At(idx...)
+			pos++
+			return
+		}
+		s := sets[d]
+		if len(s.values) == 0 {
+			idx[d] = s.single
+			rec(d + 1)
+			return
+		}
+		for _, v := range s.values {
+			idx[d] = v
+			rec(d + 1)
+		}
+	}
+	rec(0)
+	return out, nil
+}
+
+func elementwise(op string, l, r *Array) (*Array, error) {
+	apply := func(a, b float64) (float64, error) {
+		switch op {
+		case "+":
+			return a + b, nil
+		case "-":
+			return a - b, nil
+		case "*":
+			return a * b, nil
+		case "/":
+			return a / b, nil
+		case "<":
+			return b2f(a < b), nil
+		case ">":
+			return b2f(a > b), nil
+		case "<=":
+			return b2f(a <= b), nil
+		case ">=":
+			return b2f(a >= b), nil
+		case "==":
+			return b2f(a == b), nil
+		case "/=":
+			return b2f(a != b), nil
+		}
+		return 0, fmt.Errorf("interp: unknown operator %q", op)
+	}
+	switch {
+	case l.Rank() == 0 && r.Rank() == 0:
+		v, err := apply(l.Data[0], r.Data[0])
+		return scalar(v), err
+	case l.Rank() == 0:
+		out := r.Clone()
+		for i := range out.Data {
+			v, err := apply(l.Data[0], r.Data[i])
+			if err != nil {
+				return nil, err
+			}
+			out.Data[i] = v
+		}
+		return out, nil
+	case r.Rank() == 0:
+		out := l.Clone()
+		for i := range out.Data {
+			v, err := apply(l.Data[i], r.Data[0])
+			if err != nil {
+				return nil, err
+			}
+			out.Data[i] = v
+		}
+		return out, nil
+	default:
+		if l.Size() != r.Size() {
+			return nil, fmt.Errorf("interp: conformance error: %v vs %v", l.Dims, r.Dims)
+		}
+		out := l.Clone()
+		for i := range out.Data {
+			v, err := apply(l.Data[i], r.Data[i])
+			if err != nil {
+				return nil, err
+			}
+			out.Data[i] = v
+		}
+		return out, nil
+	}
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (st *state) evalCall(c *lang.Call) (*Array, error) {
+	switch c.Name {
+	case "transpose":
+		a, err := st.eval(c.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		if a.Rank() != 2 {
+			return nil, fmt.Errorf("interp: transpose of rank-%d array", a.Rank())
+		}
+		out := NewArray(a.Dims[1], a.Dims[0])
+		for i := int64(1); i <= a.Dims[0]; i++ {
+			for j := int64(1); j <= a.Dims[1]; j++ {
+				out.Set(a.At(i, j), j, i)
+			}
+		}
+		return out, nil
+	case "spread":
+		a, err := st.eval(c.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		dim, err := st.scalarInt(c.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		n, err := st.scalarInt(c.Args[2])
+		if err != nil {
+			return nil, err
+		}
+		dims := make([]int64, 0, a.Rank()+1)
+		dims = append(dims, a.Dims[:dim-1]...)
+		dims = append(dims, n)
+		dims = append(dims, a.Dims[dim-1:]...)
+		out := NewArray(dims...)
+		idx := make([]int64, len(dims))
+		srcIdx := make([]int64, a.Rank())
+		var rec func(d int)
+		rec = func(d int) {
+			if d == len(dims) {
+				k := 0
+				for dd := range dims {
+					if dd == int(dim)-1 {
+						continue
+					}
+					srcIdx[k] = idx[dd]
+					k++
+				}
+				out.Set(a.At(srcIdx...), idx...)
+				return
+			}
+			for i := int64(1); i <= dims[d]; i++ {
+				idx[d] = i
+				rec(d + 1)
+			}
+		}
+		rec(0)
+		return out, nil
+	case "sum":
+		a, err := st.eval(c.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		if len(c.Args) == 1 {
+			s := 0.0
+			for _, v := range a.Data {
+				s += v
+			}
+			return scalar(s), nil
+		}
+		dim, err := st.scalarInt(c.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		var dims []int64
+		dims = append(dims, a.Dims[:dim-1]...)
+		dims = append(dims, a.Dims[dim:]...)
+		out := NewArray(dims...)
+		idx := make([]int64, a.Rank())
+		outIdx := make([]int64, len(dims))
+		var rec func(d int)
+		rec = func(d int) {
+			if d == a.Rank() {
+				k := 0
+				for dd := range idx {
+					if dd == int(dim)-1 {
+						continue
+					}
+					outIdx[k] = idx[dd]
+					k++
+				}
+				out.Set(out.At(outIdx...)+a.At(idx...), outIdx...)
+				return
+			}
+			for i := int64(1); i <= a.Dims[d]; i++ {
+				idx[d] = i
+				rec(d + 1)
+			}
+		}
+		rec(0)
+		return out, nil
+	case "cshift":
+		a, err := st.eval(c.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		sh, err := st.scalarInt(c.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		if a.Rank() != 1 {
+			return nil, fmt.Errorf("interp: cshift supports rank-1 arrays")
+		}
+		n := a.Dims[0]
+		out := NewArray(n)
+		for i := int64(0); i < n; i++ {
+			out.Data[i] = a.Data[((i+sh)%n+n)%n]
+		}
+		return out, nil
+	case "min", "max":
+		l, err := st.eval(c.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		r, err := st.eval(c.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		op := math.Min
+		if c.Name == "max" {
+			op = math.Max
+		}
+		return zipWith(l, r, op)
+	default:
+		a, err := st.eval(c.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		var f func(float64) float64
+		switch c.Name {
+		case "cos":
+			f = math.Cos
+		case "sin":
+			f = math.Sin
+		case "exp":
+			f = math.Exp
+		case "log":
+			f = math.Log
+		case "sqrt":
+			f = math.Sqrt
+		case "abs":
+			f = math.Abs
+		default:
+			return nil, fmt.Errorf("interp: unknown intrinsic %q", c.Name)
+		}
+		out := a.Clone()
+		for i := range out.Data {
+			out.Data[i] = f(out.Data[i])
+		}
+		return out, nil
+	}
+}
+
+func zipWith(l, r *Array, f func(a, b float64) float64) (*Array, error) {
+	switch {
+	case l.Rank() == 0:
+		out := r.Clone()
+		for i := range out.Data {
+			out.Data[i] = f(l.Data[0], out.Data[i])
+		}
+		return out, nil
+	case r.Rank() == 0:
+		out := l.Clone()
+		for i := range out.Data {
+			out.Data[i] = f(out.Data[i], r.Data[0])
+		}
+		return out, nil
+	}
+	if l.Size() != r.Size() {
+		return nil, fmt.Errorf("interp: conformance error in min/max")
+	}
+	out := l.Clone()
+	for i := range out.Data {
+		out.Data[i] = f(out.Data[i], r.Data[i])
+	}
+	return out, nil
+}

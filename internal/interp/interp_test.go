@@ -1,0 +1,221 @@
+package interp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/lang"
+)
+
+func run(t *testing.T, src string, init map[string]*Array) map[string]*Array {
+	t.Helper()
+	info, err := lang.Analyze(lang.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RunFrom(info, init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestScalarFill(t *testing.T) {
+	out := run(t, "real A(5)\nA = 7\n", nil)
+	for i := int64(1); i <= 5; i++ {
+		if out["a"].At(i) != 7 {
+			t.Errorf("A(%d) = %v", i, out["a"].At(i))
+		}
+	}
+}
+
+func TestSectionAssignAndRead(t *testing.T) {
+	out := run(t, `
+real A(10), B(10)
+A = 1
+B(2:6) = A(1:5) + 1
+`, nil)
+	b := out["b"]
+	for i := int64(2); i <= 6; i++ {
+		if b.At(i) != 2 {
+			t.Errorf("B(%d) = %v, want 2", i, b.At(i))
+		}
+	}
+	if b.At(1) != 0 || b.At(7) != 0 {
+		t.Error("untouched elements modified")
+	}
+}
+
+func TestStridedSection(t *testing.T) {
+	init := map[string]*Array{"a": NewArray(10)}
+	for i := int64(1); i <= 10; i++ {
+		init["a"].Set(float64(i), i)
+	}
+	out := run(t, "real A(10), B(5)\nB = A(2:10:2)\n", init)
+	want := []float64{2, 4, 6, 8, 10}
+	for i, w := range want {
+		if got := out["b"].At(int64(i) + 1); got != w {
+			t.Errorf("B(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestDoLoopSum(t *testing.T) {
+	out := run(t, `
+real S(1)
+do k = 1, 10
+  S(1) = S(1) + k
+enddo
+`, nil)
+	if out["s"].At(1) != 55 {
+		t.Errorf("sum = %v, want 55", out["s"].At(1))
+	}
+}
+
+func TestFig1Semantics(t *testing.T) {
+	// A(k,1:100) += V(k:k+99): verify one representative element.
+	init := map[string]*Array{"v": NewArray(200)}
+	for i := int64(1); i <= 200; i++ {
+		init["v"].Set(float64(i), i)
+	}
+	out := run(t, `
+real A(100,100), V(200)
+do k = 1, 100
+  A(k,1:100) = A(k,1:100) + V(k:k+99)
+enddo
+`, init)
+	// A(k,j) = V(k+j-1).
+	for _, kj := range [][2]int64{{1, 1}, {50, 3}, {100, 100}} {
+		k, j := kj[0], kj[1]
+		if got := out["a"].At(k, j); got != float64(k+j-1) {
+			t.Errorf("A(%d,%d) = %v, want %d", k, j, got, k+j-1)
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	init := map[string]*Array{"c": NewArray(2, 3)}
+	v := 1.0
+	for i := int64(1); i <= 2; i++ {
+		for j := int64(1); j <= 3; j++ {
+			init["c"].Set(v, i, j)
+			v++
+		}
+	}
+	out := run(t, "real B(3,2), C(2,3)\nB = transpose(C)\n", init)
+	for i := int64(1); i <= 2; i++ {
+		for j := int64(1); j <= 3; j++ {
+			if out["b"].At(j, i) != init["c"].At(i, j) {
+				t.Errorf("B(%d,%d) != C(%d,%d)", j, i, i, j)
+			}
+		}
+	}
+}
+
+func TestSpreadSum(t *testing.T) {
+	init := map[string]*Array{"v": NewArray(3)}
+	init["v"].Set(1, 1)
+	init["v"].Set(2, 2)
+	init["v"].Set(3, 3)
+	out := run(t, `
+real B(3,4), V(3), W(4)
+B = spread(V, 2, 4)
+W = sum(B, 1)
+`, init)
+	for j := int64(1); j <= 4; j++ {
+		for i := int64(1); i <= 3; i++ {
+			if out["b"].At(i, j) != float64(i) {
+				t.Errorf("B(%d,%d) = %v", i, j, out["b"].At(i, j))
+			}
+		}
+		if out["w"].At(j) != 6 {
+			t.Errorf("W(%d) = %v, want 6", j, out["w"].At(j))
+		}
+	}
+}
+
+func TestSpreadDim1(t *testing.T) {
+	init := map[string]*Array{"v": NewArray(2)}
+	init["v"].Set(5, 1)
+	init["v"].Set(9, 2)
+	out := run(t, "real B(3,2), V(2)\nB = spread(V, 1, 3)\n", init)
+	for i := int64(1); i <= 3; i++ {
+		if out["b"].At(i, 1) != 5 || out["b"].At(i, 2) != 9 {
+			t.Errorf("row %d = %v %v", i, out["b"].At(i, 1), out["b"].At(i, 2))
+		}
+	}
+}
+
+func TestIfElse(t *testing.T) {
+	out := run(t, `
+real A(3)
+if (1 > 2) then
+  A = 1
+else
+  A = 2
+endif
+`, nil)
+	if out["a"].At(1) != 2 {
+		t.Errorf("A(1) = %v, want 2 (else arm)", out["a"].At(1))
+	}
+}
+
+func TestVectorSubscript(t *testing.T) {
+	init := map[string]*Array{"a": NewArray(5), "idx": NewArray(3)}
+	for i := int64(1); i <= 5; i++ {
+		init["a"].Set(float64(10*i), i)
+	}
+	init["idx"].Set(3, 1)
+	init["idx"].Set(1, 2)
+	init["idx"].Set(5, 3)
+	out := run(t, "real A(5), T(3), IDX(3)\nT = A(IDX)\n", init)
+	want := []float64{30, 10, 50}
+	for i, w := range want {
+		if got := out["t"].At(int64(i) + 1); got != w {
+			t.Errorf("T(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestIntrinsicCos(t *testing.T) {
+	init := map[string]*Array{"t": NewArray(2)}
+	init["t"].Set(0, 1)
+	init["t"].Set(math.Pi, 2)
+	out := run(t, "real T(2)\nT = cos(T)\n", init)
+	if math.Abs(out["t"].At(1)-1) > 1e-12 || math.Abs(out["t"].At(2)+1) > 1e-12 {
+		t.Errorf("cos wrong: %v %v", out["t"].At(1), out["t"].At(2))
+	}
+}
+
+func TestMobileStrideSemantics(t *testing.T) {
+	// Example 5's strided mobile sections execute correctly.
+	init := map[string]*Array{"a": NewArray(1000)}
+	for i := int64(1); i <= 1000; i++ {
+		init["a"].Set(1, i)
+	}
+	out := run(t, `
+real A(1000), B(1000), V(20)
+do k = 1, 50
+  V = V + A(1:20*k:k)
+  B(1:20*k:k) = V
+enddo
+`, init)
+	// After 50 iterations every V element accumulated 50 ones.
+	// B's final strided write (k=50) stored V at positions 1, 51, ...
+	if got := out["b"].At(1); got != 50 {
+		t.Errorf("B(1) = %v, want 50", got)
+	}
+	if got := out["b"].At(51); got != 50 {
+		t.Errorf("B(51) = %v, want 50", got)
+	}
+}
+
+func TestConformanceError(t *testing.T) {
+	info, err := lang.Analyze(lang.MustParse("real A(10), B(5)\nA(1:3) = B(1:4)\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(info); err == nil {
+		t.Error("conformance violation not caught")
+	}
+}

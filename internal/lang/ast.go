@@ -1,0 +1,217 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Program is a parsed compilation unit: array declarations followed by
+// executable statements.
+type Program struct {
+	Decls []*Decl
+	Stmts []Stmt
+}
+
+// Decl declares a real or integer array (or scalar, with no dimensions).
+// Dimensions are constant extents; index ranges are 1..extent, Fortran
+// style.
+type Decl struct {
+	Name string
+	Dims []int64
+	Pos  Pos
+}
+
+// Rank returns the number of dimensions (0 for scalars).
+func (d *Decl) Rank() int { return len(d.Dims) }
+
+// Stmt is an executable statement.
+type Stmt interface {
+	stmtNode()
+	String() string
+}
+
+// Assign is an assignment to a whole array, an array section, or a scalar.
+type Assign struct {
+	LHS *ArrayRef
+	RHS Expr
+	Pos Pos
+}
+
+// Do is a counted loop with constant-or-affine bounds (affine in enclosing
+// loop induction variables).
+type Do struct {
+	Var  string
+	Lo   Expr
+	Hi   Expr
+	Step Expr // nil means 1
+	Body []Stmt
+	Pos  Pos
+}
+
+// If is a two-armed conditional. The condition is a scalar expression;
+// the alignment analysis only cares about the induced branch/merge data
+// flow, not the predicate's value.
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+	Pos  Pos
+}
+
+func (*Assign) stmtNode() {}
+func (*Do) stmtNode()     {}
+func (*If) stmtNode()     {}
+
+// Expr is an expression.
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// Num is an integer literal.
+type Num struct {
+	Val int64
+	Pos Pos
+}
+
+// ArrayRef is a reference to a declared array, optionally subscripted.
+// An empty Subs means the whole array. A scalar variable is an ArrayRef
+// with rank 0.
+type ArrayRef struct {
+	Name string
+	Subs []Subscript
+	Pos  Pos
+}
+
+// BinOp is a binary operation. Elementwise when either side is an array.
+type BinOp struct {
+	Op   string // "+", "-", "*", "/", "<", ">", "<=", ">=", "==", "/="
+	L, R Expr
+	Pos  Pos
+}
+
+// Call is an intrinsic call: transpose(A), spread(A, dim, ncopies),
+// sum(A, dim), or an elementwise math intrinsic (cos, sin, exp, sqrt,
+// abs...).
+type Call struct {
+	Name string
+	Args []Expr
+	Pos  Pos
+}
+
+func (*Num) exprNode()      {}
+func (*ArrayRef) exprNode() {}
+func (*BinOp) exprNode()    {}
+func (*Call) exprNode()     {}
+
+// Subscript is one dimension's subscript in an array reference.
+type Subscript struct {
+	// IsRange selects between a single index (Index only) and a section
+	// triplet Lo:Hi:Step.
+	IsRange bool
+	Index   Expr // single index when !IsRange
+	Lo, Hi  Expr // nil means the declared bound (":" shorthand)
+	Step    Expr // nil means 1
+}
+
+func (s Subscript) String() string {
+	if !s.IsRange {
+		return s.Index.String()
+	}
+	var b strings.Builder
+	if s.Lo != nil {
+		b.WriteString(s.Lo.String())
+	}
+	b.WriteString(":")
+	if s.Hi != nil {
+		b.WriteString(s.Hi.String())
+	}
+	if s.Step != nil {
+		b.WriteString(":" + s.Step.String())
+	}
+	return b.String()
+}
+
+func (n *Num) String() string { return fmt.Sprintf("%d", n.Val) }
+
+func (r *ArrayRef) String() string {
+	if len(r.Subs) == 0 {
+		return r.Name
+	}
+	parts := make([]string, len(r.Subs))
+	for i, s := range r.Subs {
+		parts[i] = s.String()
+	}
+	return r.Name + "(" + strings.Join(parts, ",") + ")"
+}
+
+func (b *BinOp) String() string {
+	return "(" + b.L.String() + " " + b.Op + " " + b.R.String() + ")"
+}
+
+func (c *Call) String() string {
+	parts := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		parts[i] = a.String()
+	}
+	return c.Name + "(" + strings.Join(parts, ",") + ")"
+}
+
+func (a *Assign) String() string {
+	return a.LHS.String() + " = " + a.RHS.String()
+}
+
+func (d *Do) String() string {
+	s := "do " + d.Var + " = " + d.Lo.String() + ", " + d.Hi.String()
+	if d.Step != nil {
+		s += ", " + d.Step.String()
+	}
+	return s + " ... enddo"
+}
+
+func (f *If) String() string {
+	return "if (" + f.Cond.String() + ") then ... endif"
+}
+
+// String renders the program's declarations and statement skeleton.
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, d := range p.Decls {
+		fmt.Fprintf(&b, "real %s", d.Name)
+		if len(d.Dims) > 0 {
+			parts := make([]string, len(d.Dims))
+			for i, x := range d.Dims {
+				parts[i] = fmt.Sprintf("%d", x)
+			}
+			fmt.Fprintf(&b, "(%s)", strings.Join(parts, ","))
+		}
+		b.WriteString("\n")
+	}
+	var walk func(ss []Stmt, indent string)
+	walk = func(ss []Stmt, indent string) {
+		for _, s := range ss {
+			switch st := s.(type) {
+			case *Do:
+				fmt.Fprintf(&b, "%sdo %s = %s, %s", indent, st.Var, st.Lo, st.Hi)
+				if st.Step != nil {
+					fmt.Fprintf(&b, ", %s", st.Step)
+				}
+				b.WriteString("\n")
+				walk(st.Body, indent+"  ")
+				b.WriteString(indent + "enddo\n")
+			case *If:
+				fmt.Fprintf(&b, "%sif (%s) then\n", indent, st.Cond)
+				walk(st.Then, indent+"  ")
+				if len(st.Else) > 0 {
+					b.WriteString(indent + "else\n")
+					walk(st.Else, indent+"  ")
+				}
+				b.WriteString(indent + "endif\n")
+			default:
+				fmt.Fprintf(&b, "%s%s\n", indent, s)
+			}
+		}
+	}
+	walk(p.Stmts, "")
+	return b.String()
+}

@@ -1,0 +1,267 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func parse(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return p
+}
+
+func analyze(t *testing.T, src string) *Info {
+	t.Helper()
+	info, err := Analyze(parse(t, src))
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return info
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("real A(10)\nA = A + 1 ! comment\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []Kind{}
+	for _, tok := range toks {
+		kinds = append(kinds, tok.Kind)
+	}
+	want := []Kind{KwReal, IDENT, LPAREN, NUMBER, RPAREN, NEWLINE,
+		IDENT, ASSIGN, IDENT, PLUS, NUMBER, NEWLINE, EOF}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestLexTwoWordEnd(t *testing.T) {
+	toks, err := Lex("end do\nend if\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != KwEndDo || toks[2].Kind != KwEndIf {
+		t.Errorf("two-word end forms: %v %v", toks[0].Kind, toks[2].Kind)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := Lex("a <= b >= c == d /= e < f > g\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{IDENT, LE, IDENT, GE, IDENT, EQ, IDENT, NE, IDENT, LT, IDENT, GT, IDENT}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexCaseFolding(t *testing.T) {
+	toks, _ := Lex("REAL A\nDO K = 1, 10\nENDDO\n")
+	if toks[0].Kind != KwReal || toks[3].Kind != KwDo {
+		t.Error("keywords not case-folded")
+	}
+}
+
+func TestParseFig1(t *testing.T) {
+	p := parse(t, `
+real A(100,100), V(200)
+do k = 1, 100
+  A(k,1:100) = A(k,1:100) + V(k:k+99)
+enddo
+`)
+	if len(p.Decls) != 2 {
+		t.Fatalf("decls = %d", len(p.Decls))
+	}
+	if p.Decls[0].Name != "a" || p.Decls[0].Rank() != 2 {
+		t.Errorf("decl 0: %+v", p.Decls[0])
+	}
+	do, ok := p.Stmts[0].(*Do)
+	if !ok {
+		t.Fatalf("stmt 0 is %T", p.Stmts[0])
+	}
+	if do.Var != "k" || len(do.Body) != 1 {
+		t.Errorf("do: %+v", do)
+	}
+	asn := do.Body[0].(*Assign)
+	if asn.LHS.Name != "a" || len(asn.LHS.Subs) != 2 {
+		t.Errorf("lhs: %v", asn.LHS)
+	}
+	if asn.LHS.Subs[0].IsRange || !asn.LHS.Subs[1].IsRange {
+		t.Errorf("subscript shapes wrong")
+	}
+}
+
+func TestParseSectionForms(t *testing.T) {
+	p := parse(t, `
+real A(10)
+A(:) = A(1:)
+A(2:5) = A(1:10:3)
+`)
+	a1 := p.Stmts[0].(*Assign)
+	if !a1.LHS.Subs[0].IsRange || a1.LHS.Subs[0].Lo != nil {
+		t.Errorf("bare colon wrong: %+v", a1.LHS.Subs[0])
+	}
+	rhs1 := a1.RHS.(*ArrayRef)
+	if rhs1.Subs[0].Lo == nil || rhs1.Subs[0].Hi != nil {
+		t.Errorf("lo-only range wrong: %+v", rhs1.Subs[0])
+	}
+	a2 := p.Stmts[1].(*Assign)
+	rhs2 := a2.RHS.(*ArrayRef)
+	if rhs2.Subs[0].Step == nil {
+		t.Errorf("step missing: %+v", rhs2.Subs[0])
+	}
+}
+
+func TestParseIfElse(t *testing.T) {
+	p := parse(t, `
+real A(10), B(10)
+if (1 < 2) then
+  A = B
+else
+  B = A
+endif
+`)
+	f := p.Stmts[0].(*If)
+	if len(f.Then) != 1 || len(f.Else) != 1 {
+		t.Errorf("arms: %d %d", len(f.Then), len(f.Else))
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	p := parse(t, "real A(10)\nA = A + A * A\n")
+	rhs := p.Stmts[0].(*Assign).RHS.(*BinOp)
+	if rhs.Op != "+" {
+		t.Fatalf("top op = %q", rhs.Op)
+	}
+	if inner, ok := rhs.R.(*BinOp); !ok || inner.Op != "*" {
+		t.Errorf("precedence wrong: %v", p.Stmts[0])
+	}
+}
+
+func TestParseIntrinsics(t *testing.T) {
+	p := parse(t, `
+real B(10,20), C(20,10), V(10)
+B = B + transpose(C)
+B = B + spread(V, 2, 20)
+V = cos(V)
+`)
+	c1 := p.Stmts[0].(*Assign).RHS.(*BinOp).R.(*Call)
+	if c1.Name != "transpose" || len(c1.Args) != 1 {
+		t.Errorf("transpose: %v", c1)
+	}
+	c2 := p.Stmts[1].(*Assign).RHS.(*BinOp).R.(*Call)
+	if c2.Name != "spread" || len(c2.Args) != 3 {
+		t.Errorf("spread: %v", c2)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"real A(10)\nA = \n",
+		"real A(10)\ndo k = 1\nenddo\n",
+		"real A(10)\nA = A +\n",
+		"real A(10\nA = A\n",
+		"do k = 1, 10\n", // missing enddo
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestAnalyzeRanks(t *testing.T) {
+	info := analyze(t, `
+real A(10,20), V(20)
+A(1,1:20) = V
+A = A + spread(V, 1, 10)
+V = sum(A, 1)
+`)
+	if info.Decl("a").Rank() != 2 || info.Decl("v").Rank() != 1 {
+		t.Error("decl ranks wrong")
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	bad := map[string]string{
+		"undeclared":     "real A(10)\nA = B\n",
+		"rank mismatch":  "real A(10,10), V(5)\nA = V\n",
+		"bad subscripts": "real A(10,10)\nA(1) = 0\n",
+		"dup decl":       "real A(10)\nreal A(20)\nA = 0\n",
+		"transpose rank": "real V(10)\nV = transpose(V)\n",
+		"spread dim":     "real V(10), A(10,10)\nA = spread(V, 5, 10)\n",
+		"nonaffine sub":  "real A(100), B(100)\ndo k = 1, 10\n A(k*k) = 0\nenddo\n",
+		"shadow loop":    "real A(10)\ndo k = 1, 5\n do k = 1, 5\n  A = A\n enddo\nenddo\n",
+	}
+	for name, src := range bad {
+		if _, err := Analyze(parse(t, src)); err == nil {
+			t.Errorf("%s: Analyze succeeded, want error", name)
+		}
+	}
+}
+
+func TestAnalyzeAffineSubscripts(t *testing.T) {
+	// 2*k+1 is affine and fine; mobile sections too.
+	analyze(t, `
+real A(100), B(1000)
+do k = 1, 10
+  A(2*k+1) = 0
+  B(1:20*k:k) = 0
+enddo
+`)
+}
+
+func TestAnalyzeVectorSubscript(t *testing.T) {
+	info := analyze(t, `
+real A(100), T(50), IDX(50)
+do k = 1, 10
+  T = A(IDX)
+enddo
+`)
+	_ = info
+	// Vector subscript on the LHS must be rejected.
+	if _, err := Analyze(parse(t, "real A(100), IDX(50)\nA(IDX) = 0\n")); err == nil {
+		t.Error("LHS vector subscript accepted")
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	src := `
+real A(10)
+do k = 1, 5
+  A(k) = A(k) + 1
+enddo
+`
+	s := parse(t, src).String()
+	for _, frag := range []string{"real a(10)", "do k = 1, 5", "enddo"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestAffineExprForms(t *testing.T) {
+	isLIV := func(s string) bool { return s == "k" || s == "j" }
+	p := parse(t, "real A(100)\nA(3*k - 2*j + 7) = 0\n")
+	// Extract the subscript expression.
+	sub := p.Stmts[0].(*Assign).LHS.Subs[0].Index
+	a, err := AffineExpr(sub, isLIV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Coef("k") != 3 || a.Coef("j") != -2 || a.ConstPart() != 7 {
+		t.Errorf("affine = %v", a)
+	}
+}

@@ -1,0 +1,179 @@
+package lang
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Lexer turns source text into tokens. Case is folded to lower for
+// keywords and identifiers (Fortran style); '!' starts a comment to end
+// of line; newlines are significant (statement separators).
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Lex tokenizes the whole input. A trailing NEWLINE is ensured before EOF
+// so the parser can treat every statement as newline-terminated.
+func Lex(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		// Collapse duplicate newlines.
+		if t.Kind == NEWLINE && len(toks) > 0 && toks[len(toks)-1].Kind == NEWLINE {
+			continue
+		}
+		if t.Kind == NEWLINE && len(toks) == 0 {
+			continue
+		}
+		if t.Kind == EOF {
+			if len(toks) > 0 && toks[len(toks)-1].Kind != NEWLINE {
+				toks = append(toks, Token{Kind: NEWLINE, Text: "\n", Pos: t.Pos})
+			}
+			toks = append(toks, t)
+			return toks, nil
+		}
+		toks = append(toks, t)
+	}
+}
+
+func (lx *Lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *Lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) next() (Token, error) {
+	// Skip horizontal whitespace and comments.
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		if c == ' ' || c == '\t' || c == '\r' {
+			lx.advance()
+			continue
+		}
+		if c == '!' {
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+			continue
+		}
+		break
+	}
+	start := lx.pos()
+	if lx.off >= len(lx.src) {
+		return Token{Kind: EOF, Pos: start}, nil
+	}
+	c := lx.advance()
+	switch {
+	case c == '\n':
+		return Token{Kind: NEWLINE, Text: "\n", Pos: start}, nil
+	case c == '(':
+		return Token{Kind: LPAREN, Text: "(", Pos: start}, nil
+	case c == ')':
+		return Token{Kind: RPAREN, Text: ")", Pos: start}, nil
+	case c == ',':
+		return Token{Kind: COMMA, Text: ",", Pos: start}, nil
+	case c == ':':
+		return Token{Kind: COLON, Text: ":", Pos: start}, nil
+	case c == '+':
+		return Token{Kind: PLUS, Text: "+", Pos: start}, nil
+	case c == '-':
+		return Token{Kind: MINUS, Text: "-", Pos: start}, nil
+	case c == '*':
+		return Token{Kind: STAR, Text: "*", Pos: start}, nil
+	case c == '/':
+		if lx.peek() == '=' {
+			lx.advance()
+			return Token{Kind: NE, Text: "/=", Pos: start}, nil
+		}
+		return Token{Kind: SLASH, Text: "/", Pos: start}, nil
+	case c == '=':
+		if lx.peek() == '=' {
+			lx.advance()
+			return Token{Kind: EQ, Text: "==", Pos: start}, nil
+		}
+		return Token{Kind: ASSIGN, Text: "=", Pos: start}, nil
+	case c == '<':
+		if lx.peek() == '=' {
+			lx.advance()
+			return Token{Kind: LE, Text: "<=", Pos: start}, nil
+		}
+		return Token{Kind: LT, Text: "<", Pos: start}, nil
+	case c == '>':
+		if lx.peek() == '=' {
+			lx.advance()
+			return Token{Kind: GE, Text: ">=", Pos: start}, nil
+		}
+		return Token{Kind: GT, Text: ">", Pos: start}, nil
+	case c >= '0' && c <= '9':
+		var b strings.Builder
+		b.WriteByte(c)
+		for lx.off < len(lx.src) {
+			d := lx.peek()
+			if d < '0' || d > '9' {
+				break
+			}
+			b.WriteByte(lx.advance())
+		}
+		return Token{Kind: NUMBER, Text: b.String(), Pos: start}, nil
+	case isIdentStart(rune(c)):
+		var b strings.Builder
+		b.WriteByte(c)
+		for lx.off < len(lx.src) {
+			d := rune(lx.peek())
+			if !isIdentPart(d) {
+				break
+			}
+			b.WriteByte(lx.advance())
+		}
+		word := strings.ToLower(b.String())
+		if kw, ok := keywords[word]; ok {
+			// "end do" / "end if" two-word forms.
+			if kw == KwEnd {
+				save := *lx
+				t2, err := lx.next()
+				if err == nil && t2.Kind == KwDo {
+					return Token{Kind: KwEndDo, Text: "end do", Pos: start}, nil
+				}
+				if err == nil && t2.Kind == KwIf {
+					return Token{Kind: KwEndIf, Text: "end if", Pos: start}, nil
+				}
+				*lx = save
+			}
+			return Token{Kind: kw, Text: word, Pos: start}, nil
+		}
+		return Token{Kind: IDENT, Text: word, Pos: start}, nil
+	}
+	return Token{}, errf(start, "unexpected character %q", c)
+}
+
+func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,69 @@
+package lang
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestLexerNeverPanics feeds random byte soup to the lexer and parser;
+// they must return errors, never panic.
+func TestLexerNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	alphabet := "abkz019(),:=+-*/<>! \n\tendoifthralspr"
+	for trial := 0; trial < 500; trial++ {
+		var b strings.Builder
+		n := rng.Intn(120)
+		for i := 0; i < n; i++ {
+			b.WriteByte(alphabet[rng.Intn(len(alphabet))])
+		}
+		src := b.String()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", src, r)
+				}
+			}()
+			_, _ = Parse(src)
+		}()
+	}
+}
+
+// TestParserRoundTrips: parse → String → parse yields a structurally
+// equivalent program for representative sources.
+func TestParserRoundTrips(t *testing.T) {
+	srcs := []string{
+		"real a(10)\na = a + 1\n",
+		"real a(100,100), v(200)\ndo k = 1, 100\n  a(k,1:100) = a(k,1:100) + v(k:k+99)\nenddo\n",
+		"real t(100), b(100,200)\ndo k = 1, 200\n  t = cos(t)\n  b = b + spread(t, 2, 200)\nenddo\n",
+		"real a(10), b(10)\nif (1 < 2) then\n  a = b\nelse\n  b = a\nendif\n",
+	}
+	for _, src := range srcs {
+		p1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		p2, err := Parse(p1.String())
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", p1.String(), err)
+		}
+		if len(p1.Stmts) != len(p2.Stmts) || len(p1.Decls) != len(p2.Decls) {
+			t.Errorf("round trip changed shape:\n%s\nvs\n%s", p1, p2)
+		}
+	}
+}
+
+// TestLexerPositions: error positions point at the offending token.
+func TestLexerPositions(t *testing.T) {
+	_, err := Parse("real A(10)\nA = A ~ 1\n")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	le, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if le.Pos.Line != 2 {
+		t.Errorf("error line = %d, want 2", le.Pos.Line)
+	}
+}

@@ -1,0 +1,472 @@
+package lang
+
+import "strconv"
+
+// Parser is a recursive-descent parser for the mini language.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse lexes and parses a full program.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	return p.program()
+}
+
+// MustParse parses src and panics on error; for tests and examples with
+// literal programs.
+func MustParse(src string) *Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+func (p *Parser) cur() Token { return p.toks[p.pos] }
+func (p *Parser) kind() Kind { return p.toks[p.pos].Kind }
+func (p *Parser) advance() Token {
+	t := p.toks[p.pos]
+	if t.Kind != EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) expect(k Kind) (Token, error) {
+	if p.kind() != k {
+		return Token{}, errf(p.cur().Pos, "expected %s, found %s %q", k, p.kind(), p.cur().Text)
+	}
+	return p.advance(), nil
+}
+
+func (p *Parser) skipNewlines() {
+	for p.kind() == NEWLINE {
+		p.advance()
+	}
+}
+
+func (p *Parser) program() (*Program, error) {
+	prog := &Program{}
+	p.skipNewlines()
+	// Declarations: leading "real"/"integer" lines.
+	for p.kind() == KwReal || p.kind() == KwInteger {
+		decls, err := p.declLine()
+		if err != nil {
+			return nil, err
+		}
+		prog.Decls = append(prog.Decls, decls...)
+		p.skipNewlines()
+	}
+	stmts, err := p.stmtList(EOF)
+	if err != nil {
+		return nil, err
+	}
+	prog.Stmts = stmts
+	if _, err := p.expect(EOF); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+func (p *Parser) declLine() ([]*Decl, error) {
+	p.advance() // real / integer
+	var decls []*Decl
+	for {
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		d := &Decl{Name: name.Text, Pos: name.Pos}
+		if p.kind() == LPAREN {
+			p.advance()
+			for {
+				n, err := p.expect(NUMBER)
+				if err != nil {
+					return nil, err
+				}
+				v, err2 := strconv.ParseInt(n.Text, 10, 64)
+				if err2 != nil {
+					return nil, errf(n.Pos, "bad extent %q", n.Text)
+				}
+				d.Dims = append(d.Dims, v)
+				if p.kind() != COMMA {
+					break
+				}
+				p.advance()
+			}
+			if _, err := p.expect(RPAREN); err != nil {
+				return nil, err
+			}
+		}
+		decls = append(decls, d)
+		if p.kind() != COMMA {
+			break
+		}
+		p.advance()
+	}
+	if _, err := p.expect(NEWLINE); err != nil {
+		return nil, err
+	}
+	return decls, nil
+}
+
+// stmtList parses statements until one of the terminator kinds (which is
+// not consumed).
+func (p *Parser) stmtList(terms ...Kind) ([]Stmt, error) {
+	isTerm := func(k Kind) bool {
+		for _, t := range terms {
+			if k == t {
+				return true
+			}
+		}
+		return false
+	}
+	var stmts []Stmt
+	for {
+		p.skipNewlines()
+		if isTerm(p.kind()) {
+			return stmts, nil
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+}
+
+func (p *Parser) stmt() (Stmt, error) {
+	switch p.kind() {
+	case KwDo:
+		return p.doStmt()
+	case KwIf:
+		return p.ifStmt()
+	case IDENT:
+		return p.assignStmt()
+	}
+	return nil, errf(p.cur().Pos, "expected statement, found %s %q", p.kind(), p.cur().Text)
+}
+
+func (p *Parser) doStmt() (Stmt, error) {
+	tok := p.advance() // do
+	v, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(ASSIGN); err != nil {
+		return nil, err
+	}
+	lo, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(COMMA); err != nil {
+		return nil, err
+	}
+	hi, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	var step Expr
+	if p.kind() == COMMA {
+		p.advance()
+		step, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(NEWLINE); err != nil {
+		return nil, err
+	}
+	body, err := p.stmtList(KwEndDo)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(KwEndDo); err != nil {
+		return nil, err
+	}
+	p.endOfStmt()
+	return &Do{Var: v.Text, Lo: lo, Hi: hi, Step: step, Body: body, Pos: tok.Pos}, nil
+}
+
+func (p *Parser) ifStmt() (Stmt, error) {
+	tok := p.advance() // if
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(KwThen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(NEWLINE); err != nil {
+		return nil, err
+	}
+	thenArm, err := p.stmtList(KwElse, KwEndIf)
+	if err != nil {
+		return nil, err
+	}
+	var elseArm []Stmt
+	if p.kind() == KwElse {
+		p.advance()
+		p.skipNewlines()
+		elseArm, err = p.stmtList(KwEndIf)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(KwEndIf); err != nil {
+		return nil, err
+	}
+	p.endOfStmt()
+	return &If{Cond: cond, Then: thenArm, Else: elseArm, Pos: tok.Pos}, nil
+}
+
+func (p *Parser) endOfStmt() {
+	if p.kind() == NEWLINE {
+		p.advance()
+	}
+}
+
+func (p *Parser) assignStmt() (Stmt, error) {
+	lhs, err := p.arrayRef()
+	if err != nil {
+		return nil, err
+	}
+	tok, err := p.expect(ASSIGN)
+	if err != nil {
+		return nil, err
+	}
+	rhs, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(NEWLINE); err != nil {
+		return nil, err
+	}
+	return &Assign{LHS: lhs, RHS: rhs, Pos: tok.Pos}, nil
+}
+
+func (p *Parser) arrayRef() (*ArrayRef, error) {
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	ref := &ArrayRef{Name: name.Text, Pos: name.Pos}
+	if p.kind() == LPAREN {
+		p.advance()
+		for {
+			sub, err := p.subscript()
+			if err != nil {
+				return nil, err
+			}
+			ref.Subs = append(ref.Subs, sub)
+			if p.kind() != COMMA {
+				break
+			}
+			p.advance()
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+	}
+	return ref, nil
+}
+
+func (p *Parser) subscript() (Subscript, error) {
+	// ":" alone, "lo:hi", "lo:hi:step", ":hi", "lo:", or a single index.
+	if p.kind() == COLON {
+		p.advance()
+		return p.rangeTail(nil)
+	}
+	first, err := p.expr()
+	if err != nil {
+		return Subscript{}, err
+	}
+	if p.kind() == COLON {
+		p.advance()
+		return p.rangeTail(first)
+	}
+	return Subscript{Index: first}, nil
+}
+
+func (p *Parser) rangeTail(lo Expr) (Subscript, error) {
+	sub := Subscript{IsRange: true, Lo: lo}
+	if p.kind() == COMMA || p.kind() == RPAREN {
+		return sub, nil
+	}
+	hi, err := p.expr()
+	if err != nil {
+		return Subscript{}, err
+	}
+	sub.Hi = hi
+	if p.kind() == COLON {
+		p.advance()
+		step, err := p.expr()
+		if err != nil {
+			return Subscript{}, err
+		}
+		sub.Step = step
+	}
+	return sub, nil
+}
+
+// expr implements precedence climbing: comparisons < additive <
+// multiplicative < unary < primary.
+func (p *Parser) expr() (Expr, error) {
+	l, err := p.additive()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.kind() {
+		case LT:
+			op = "<"
+		case GT:
+			op = ">"
+		case LE:
+			op = "<="
+		case GE:
+			op = ">="
+		case EQ:
+			op = "=="
+		case NE:
+			op = "/="
+		default:
+			return l, nil
+		}
+		tok := p.advance()
+		r, err := p.additive()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: op, L: l, R: r, Pos: tok.Pos}
+	}
+}
+
+func (p *Parser) additive() (Expr, error) {
+	l, err := p.multiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.kind() == PLUS || p.kind() == MINUS {
+		tok := p.advance()
+		op := "+"
+		if tok.Kind == MINUS {
+			op = "-"
+		}
+		r, err := p.multiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: op, L: l, R: r, Pos: tok.Pos}
+	}
+	return l, nil
+}
+
+func (p *Parser) multiplicative() (Expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.kind() == STAR || p.kind() == SLASH {
+		tok := p.advance()
+		op := "*"
+		if tok.Kind == SLASH {
+			op = "/"
+		}
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: op, L: l, R: r, Pos: tok.Pos}
+	}
+	return l, nil
+}
+
+func (p *Parser) unary() (Expr, error) {
+	if p.kind() == MINUS {
+		tok := p.advance()
+		e, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &BinOp{Op: "-", L: &Num{Val: 0, Pos: tok.Pos}, R: e, Pos: tok.Pos}, nil
+	}
+	if p.kind() == PLUS {
+		p.advance()
+		return p.unary()
+	}
+	return p.primary()
+}
+
+func (p *Parser) primary() (Expr, error) {
+	switch p.kind() {
+	case NUMBER:
+		tok := p.advance()
+		v, err := strconv.ParseInt(tok.Text, 10, 64)
+		if err != nil {
+			return nil, errf(tok.Pos, "bad number %q", tok.Text)
+		}
+		return &Num{Val: v, Pos: tok.Pos}, nil
+	case LPAREN:
+		p.advance()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case IDENT:
+		// Either an intrinsic call, an array reference, or a scalar.
+		name := p.cur()
+		if IsIntrinsic(name.Text) {
+			p.advance()
+			if _, err := p.expect(LPAREN); err != nil {
+				return nil, err
+			}
+			call := &Call{Name: name.Text, Pos: name.Pos}
+			for {
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+				if p.kind() != COMMA {
+					break
+				}
+				p.advance()
+			}
+			if _, err := p.expect(RPAREN); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		return p.arrayRef()
+	}
+	return nil, errf(p.cur().Pos, "expected expression, found %s %q", p.kind(), p.cur().Text)
+}
+
+// Intrinsic functions: array-shape intrinsics plus elementwise math.
+var intrinsics = map[string]bool{
+	"transpose": true, "spread": true, "sum": true,
+	"cos": true, "sin": true, "exp": true, "log": true, "sqrt": true,
+	"abs": true, "min": true, "max": true, "cshift": true,
+}
+
+// IsIntrinsic reports whether name is a recognized intrinsic function.
+func IsIntrinsic(name string) bool { return intrinsics[name] }

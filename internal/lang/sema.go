@@ -1,0 +1,397 @@
+package lang
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+)
+
+// Info is the result of semantic analysis: symbol table, expression
+// ranks, and affine forms for scalar integer expressions, ready for ADG
+// construction.
+type Info struct {
+	Program *Program
+	decls   map[string]*Decl
+	ranks   map[Expr]int
+}
+
+// Analyze type-checks the program and returns semantic information.
+//
+// Checks performed: every referenced array is declared exactly once;
+// subscript counts match declared ranks; subscript expressions are affine
+// in the enclosing loop induction variables (or are rank-1 vector-valued
+// subscripts); loop bounds are affine in enclosing LIVs; operand ranks
+// conform for elementwise operations; intrinsic arities and ranks are
+// valid.
+func Analyze(prog *Program) (*Info, error) {
+	info := &Info{
+		Program: prog,
+		decls:   map[string]*Decl{},
+		ranks:   map[Expr]int{},
+	}
+	for _, d := range prog.Decls {
+		if _, dup := info.decls[d.Name]; dup {
+			return nil, errf(d.Pos, "array %q declared twice", d.Name)
+		}
+		info.decls[d.Name] = d
+	}
+	sc := &scope{info: info}
+	if err := sc.stmts(prog.Stmts); err != nil {
+		return nil, err
+	}
+	return info, nil
+}
+
+// MustAnalyze analyzes and panics on error; for tests and examples.
+func MustAnalyze(prog *Program) *Info {
+	info, err := Analyze(prog)
+	if err != nil {
+		panic(err)
+	}
+	return info
+}
+
+// Decl returns the declaration of the named array, or nil.
+func (info *Info) Decl(name string) *Decl { return info.decls[name] }
+
+// Decls returns the symbol table.
+func (info *Info) Decls() map[string]*Decl { return info.decls }
+
+// Rank returns the checked rank of an expression node.
+func (info *Info) Rank(e Expr) int { return info.ranks[e] }
+
+// scope tracks the loop induction variables in effect.
+type scope struct {
+	info *Info
+	livs []string
+}
+
+func (sc *scope) isLIV(name string) bool {
+	for _, v := range sc.livs {
+		if v == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (sc *scope) stmts(ss []Stmt) error {
+	for _, s := range ss {
+		if err := sc.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (sc *scope) stmt(s Stmt) error {
+	switch st := s.(type) {
+	case *Assign:
+		if _, err := sc.ref(st.LHS, true); err != nil {
+			return err
+		}
+		rr, err := sc.exprRank(st.RHS)
+		if err != nil {
+			return err
+		}
+		lr := sc.info.ranks[Expr(st.LHS)]
+		if rr != 0 && lr != rr {
+			return errf(st.Pos, "rank mismatch in assignment: lhs rank %d, rhs rank %d", lr, rr)
+		}
+		return nil
+	case *Do:
+		if sc.isLIV(st.Var) {
+			return errf(st.Pos, "loop variable %q shadows an enclosing loop variable", st.Var)
+		}
+		if _, ok := sc.info.decls[st.Var]; ok {
+			return errf(st.Pos, "loop variable %q shadows a declared array", st.Var)
+		}
+		for _, bound := range []Expr{st.Lo, st.Hi, st.Step} {
+			if bound == nil {
+				continue
+			}
+			if _, err := sc.affine(bound); err != nil {
+				return err
+			}
+		}
+		sc.livs = append(sc.livs, st.Var)
+		err := sc.stmts(st.Body)
+		sc.livs = sc.livs[:len(sc.livs)-1]
+		return err
+	case *If:
+		if _, err := sc.exprRank(st.Cond); err != nil {
+			return err
+		}
+		if err := sc.stmts(st.Then); err != nil {
+			return err
+		}
+		return sc.stmts(st.Else)
+	}
+	return fmt.Errorf("lang: unknown statement %T", s)
+}
+
+// ref checks an array reference and records its rank (the rank of the
+// object it denotes: a section's rank counts range subscripts).
+func (sc *scope) ref(r *ArrayRef, lhs bool) (int, error) {
+	if sc.isLIV(r.Name) {
+		if len(r.Subs) > 0 {
+			return 0, errf(r.Pos, "loop variable %q cannot be subscripted", r.Name)
+		}
+		if lhs {
+			return 0, errf(r.Pos, "cannot assign to loop variable %q", r.Name)
+		}
+		sc.info.ranks[Expr(r)] = 0
+		return 0, nil
+	}
+	d, ok := sc.info.decls[r.Name]
+	if !ok {
+		return 0, errf(r.Pos, "undeclared array %q", r.Name)
+	}
+	if len(r.Subs) == 0 {
+		sc.info.ranks[Expr(r)] = d.Rank()
+		return d.Rank(), nil
+	}
+	if len(r.Subs) != d.Rank() {
+		return 0, errf(r.Pos, "%q has rank %d but %d subscripts given", r.Name, d.Rank(), len(r.Subs))
+	}
+	rank := 0
+	for dim, sub := range r.Subs {
+		if sub.IsRange {
+			rank++
+			for _, e := range []Expr{sub.Lo, sub.Hi, sub.Step} {
+				if e == nil {
+					continue
+				}
+				if _, err := sc.affine(e); err != nil {
+					return 0, err
+				}
+			}
+			continue
+		}
+		// Single index: affine scalar, or a rank-1 vector-valued
+		// subscript (a lookup through an index vector, §5.1).
+		if vr, ok := sub.Index.(*ArrayRef); ok && !sc.isLIV(vr.Name) {
+			vd, ok2 := sc.info.decls[vr.Name]
+			if ok2 && vd.Rank() >= 1 && len(vr.Subs) == 0 {
+				if lhs {
+					return 0, errf(vr.Pos, "vector-valued subscript not allowed on left-hand side")
+				}
+				if vd.Rank() != 1 {
+					return 0, errf(vr.Pos, "vector-valued subscript %q must have rank 1", vr.Name)
+				}
+				sc.info.ranks[Expr(vr)] = 1
+				rank++ // a vector subscript contributes a dimension
+				continue
+			}
+		}
+		if _, err := sc.affine(sub.Index); err != nil {
+			return 0, err
+		}
+		_ = dim
+	}
+	sc.info.ranks[Expr(r)] = rank
+	return rank, nil
+}
+
+func (sc *scope) exprRank(e Expr) (int, error) {
+	switch ex := e.(type) {
+	case *Num:
+		sc.info.ranks[e] = 0
+		return 0, nil
+	case *ArrayRef:
+		return sc.ref(ex, false)
+	case *BinOp:
+		lr, err := sc.exprRank(ex.L)
+		if err != nil {
+			return 0, err
+		}
+		rr, err := sc.exprRank(ex.R)
+		if err != nil {
+			return 0, err
+		}
+		switch {
+		case lr == 0:
+			sc.info.ranks[e] = rr
+			return rr, nil
+		case rr == 0, lr == rr:
+			sc.info.ranks[e] = lr
+			return lr, nil
+		}
+		return 0, errf(ex.Pos, "rank mismatch: %d vs %d in %q", lr, rr, ex.Op)
+	case *Call:
+		return sc.callRank(ex)
+	}
+	return 0, fmt.Errorf("lang: unknown expression %T", e)
+}
+
+func (sc *scope) callRank(c *Call) (int, error) {
+	switch c.Name {
+	case "transpose":
+		if len(c.Args) != 1 {
+			return 0, errf(c.Pos, "transpose takes 1 argument")
+		}
+		r, err := sc.exprRank(c.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		if r != 2 {
+			return 0, errf(c.Pos, "transpose argument must have rank 2, has %d", r)
+		}
+		sc.info.ranks[Expr(c)] = 2
+		return 2, nil
+	case "spread":
+		if len(c.Args) != 3 {
+			return 0, errf(c.Pos, "spread takes (array, dim, ncopies)")
+		}
+		r, err := sc.exprRank(c.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		if _, err := sc.constInt(c.Args[1]); err != nil {
+			return 0, errf(c.Pos, "spread dim must be a constant")
+		}
+		if _, err := sc.affine(c.Args[2]); err != nil {
+			return 0, err
+		}
+		d, _ := sc.constInt(c.Args[1])
+		if d < 1 || d > int64(r)+1 {
+			return 0, errf(c.Pos, "spread dim %d out of range 1..%d", d, r+1)
+		}
+		sc.info.ranks[Expr(c)] = r + 1
+		return r + 1, nil
+	case "sum":
+		if len(c.Args) != 1 && len(c.Args) != 2 {
+			return 0, errf(c.Pos, "sum takes (array) or (array, dim)")
+		}
+		r, err := sc.exprRank(c.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		if len(c.Args) == 1 {
+			sc.info.ranks[Expr(c)] = 0
+			return 0, nil
+		}
+		d, err := sc.constInt(c.Args[1])
+		if err != nil {
+			return 0, errf(c.Pos, "sum dim must be a constant")
+		}
+		if d < 1 || d > int64(r) {
+			return 0, errf(c.Pos, "sum dim %d out of range 1..%d", d, r)
+		}
+		sc.info.ranks[Expr(c)] = r - 1
+		return r - 1, nil
+	case "cshift":
+		if len(c.Args) != 2 {
+			return 0, errf(c.Pos, "cshift takes (array, shift)")
+		}
+		r, err := sc.exprRank(c.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		if _, err := sc.affine(c.Args[1]); err != nil {
+			return 0, err
+		}
+		sc.info.ranks[Expr(c)] = r
+		return r, nil
+	case "min", "max":
+		if len(c.Args) != 2 {
+			return 0, errf(c.Pos, "%s takes 2 arguments", c.Name)
+		}
+		lr, err := sc.exprRank(c.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		rr, err := sc.exprRank(c.Args[1])
+		if err != nil {
+			return 0, err
+		}
+		r := lr
+		if rr > r {
+			r = rr
+		}
+		if lr != 0 && rr != 0 && lr != rr {
+			return 0, errf(c.Pos, "rank mismatch in %s", c.Name)
+		}
+		sc.info.ranks[Expr(c)] = r
+		return r, nil
+	default: // elementwise unary math intrinsics
+		if len(c.Args) != 1 {
+			return 0, errf(c.Pos, "%s takes 1 argument", c.Name)
+		}
+		r, err := sc.exprRank(c.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		sc.info.ranks[Expr(c)] = r
+		return r, nil
+	}
+}
+
+func (sc *scope) constInt(e Expr) (int64, error) {
+	a, err := sc.affine(e)
+	if err != nil {
+		return 0, err
+	}
+	if !a.IsConst() {
+		return 0, fmt.Errorf("lang: expression is not constant")
+	}
+	return a.ConstPart(), nil
+}
+
+// affine converts a scalar integer expression to an affine form over the
+// enclosing loop induction variables.
+func (sc *scope) affine(e Expr) (expr.Affine, error) {
+	return AffineExpr(e, sc.isLIV)
+}
+
+// AffineExpr converts a scalar expression to an affine form over loop
+// induction variables, where isLIV identifies induction variables. It
+// rejects products of two non-constant subexpressions, division (except
+// exact constant division), comparisons, and array references.
+func AffineExpr(e Expr, isLIV func(string) bool) (expr.Affine, error) {
+	switch ex := e.(type) {
+	case *Num:
+		return expr.Const(ex.Val), nil
+	case *ArrayRef:
+		if len(ex.Subs) == 0 && isLIV(ex.Name) {
+			return expr.Var(ex.Name), nil
+		}
+		return expr.Affine{}, errf(ex.Pos, "subscript expression must be affine in loop variables; %q is not a loop variable", ex.Name)
+	case *BinOp:
+		l, err := AffineExpr(ex.L, isLIV)
+		if err != nil {
+			return expr.Affine{}, err
+		}
+		r, err := AffineExpr(ex.R, isLIV)
+		if err != nil {
+			return expr.Affine{}, err
+		}
+		switch ex.Op {
+		case "+":
+			return l.Add(r), nil
+		case "-":
+			return l.Sub(r), nil
+		case "*":
+			if l.IsConst() {
+				return r.Scale(l.ConstPart()), nil
+			}
+			if r.IsConst() {
+				return l.Scale(r.ConstPart()), nil
+			}
+			return expr.Affine{}, errf(ex.Pos, "product of two loop-variable expressions is not affine")
+		case "/":
+			if !r.IsConst() || r.ConstPart() == 0 {
+				return expr.Affine{}, errf(ex.Pos, "division in subscripts must be by a nonzero constant")
+			}
+			d := r.ConstPart()
+			if !l.IsConst() {
+				return expr.Affine{}, errf(ex.Pos, "division of loop-variable expressions is not affine")
+			}
+			return expr.Const(l.ConstPart() / d), nil
+		}
+		return expr.Affine{}, errf(ex.Pos, "operator %q not allowed in an index expression", ex.Op)
+	case *Call:
+		return expr.Affine{}, errf(ex.Pos, "intrinsic call not allowed in an index expression")
+	}
+	return expr.Affine{}, fmt.Errorf("lang: unknown expression %T", e)
+}

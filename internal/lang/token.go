@@ -1,0 +1,101 @@
+// Package lang implements the front end for a small Fortran-90-flavored
+// data-parallel array language: lexer, parser, AST, and semantic analysis.
+// The language covers exactly the constructs the paper's alignment theory
+// handles: whole-array and array-section operations, elementwise
+// arithmetic and intrinsics, transpose, spread, reductions, do loops with
+// affine bounds, and if/else (which induce branch and merge nodes in the
+// ADG). Programs in this language are the inputs to ADG construction.
+package lang
+
+import "fmt"
+
+// Kind classifies a token.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	NUMBER
+	// Punctuation and operators.
+	LPAREN  // (
+	RPAREN  // )
+	COMMA   // ,
+	COLON   // :
+	ASSIGN  // =
+	PLUS    // +
+	MINUS   // -
+	STAR    // *
+	SLASH   // /
+	LT      // <
+	GT      // >
+	LE      // <=
+	GE      // >=
+	EQ      // ==
+	NE      // /=
+	NEWLINE // statement separator
+	// Keywords.
+	KwReal
+	KwInteger
+	KwDo
+	KwEndDo
+	KwIf
+	KwThen
+	KwElse
+	KwEndIf
+	KwEnd
+	KwTemplate
+	KwAlign
+	KwWith
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", IDENT: "identifier", NUMBER: "number",
+	LPAREN: "(", RPAREN: ")", COMMA: ",", COLON: ":", ASSIGN: "=",
+	PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/",
+	LT: "<", GT: ">", LE: "<=", GE: ">=", EQ: "==", NE: "/=",
+	NEWLINE: "newline",
+	KwReal:  "real", KwInteger: "integer", KwDo: "do", KwEndDo: "enddo",
+	KwIf: "if", KwThen: "then", KwElse: "else", KwEndIf: "endif",
+	KwEnd: "end", KwTemplate: "template", KwAlign: "align", KwWith: "with",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"real": KwReal, "integer": KwInteger,
+	"do": KwDo, "enddo": KwEndDo,
+	"if": KwIf, "then": KwThen, "else": KwElse, "endif": KwEndIf,
+	"end": KwEnd, "template": KwTemplate, "align": KwAlign, "with": KwWith,
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind Kind
+	Text string
+	Pos  Pos
+}
+
+// Pos is a line/column source position (1-based).
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Error is a front-end diagnostic tied to a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

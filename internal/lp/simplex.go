@@ -1,0 +1,525 @@
+// Package lp is a self-contained linear-programming solver: a dense
+// two-phase primal simplex with Bland's anti-cycling rule. The paper's
+// offset-alignment phase reduces to "rounded linear programming" (§4.1):
+// minimize Σ w_xy·θ_xy subject to θ_xy ≥ |π_x − π_y| (two inequalities
+// per edge) and the linear node constraints; these problems are small
+// (O(|E|) variables), so an exact dense simplex is the right tool.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+)
+
+var debugLP = os.Getenv("LPDEBUG") != ""
+
+// Op is a constraint comparison operator.
+type Op int
+
+// Constraint operators.
+const (
+	LE Op = iota // Σ a_j x_j ≤ b
+	GE           // Σ a_j x_j ≥ b
+	EQ           // Σ a_j x_j = b
+)
+
+func (o Op) String() string {
+	switch o {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	}
+	return "?"
+}
+
+// VarID identifies a decision variable within a Problem.
+type VarID int
+
+// Problem is a linear program under construction: minimize cᵀx subject to
+// linear constraints, with each variable either nonnegative or free.
+type Problem struct {
+	names []string
+	costs []float64
+	free  []bool
+	cons  []constraint
+}
+
+type constraint struct {
+	coefs map[VarID]float64
+	op    Op
+	rhs   float64
+}
+
+// ErrInfeasible is returned when no assignment satisfies the constraints.
+var ErrInfeasible = errors.New("lp: infeasible")
+
+// ErrUnbounded is returned when the objective can decrease without bound.
+var ErrUnbounded = errors.New("lp: unbounded")
+
+// NewProblem returns an empty minimization problem.
+func NewProblem() *Problem { return &Problem{} }
+
+// AddVariable adds a decision variable with the given objective cost.
+// If free is true the variable ranges over all reals; otherwise x ≥ 0.
+func (p *Problem) AddVariable(name string, cost float64, free bool) VarID {
+	p.names = append(p.names, name)
+	p.costs = append(p.costs, cost)
+	p.free = append(p.free, free)
+	return VarID(len(p.names) - 1)
+}
+
+// NumVariables returns the number of variables added so far.
+func (p *Problem) NumVariables() int { return len(p.names) }
+
+// NumConstraints returns the number of constraints added so far.
+func (p *Problem) NumConstraints() int { return len(p.cons) }
+
+// AddConstraint adds Σ coefs[v]·x_v (op) rhs. Coefficient maps are copied.
+func (p *Problem) AddConstraint(coefs map[VarID]float64, op Op, rhs float64) {
+	cp := make(map[VarID]float64, len(coefs))
+	for v, c := range coefs {
+		if int(v) < 0 || int(v) >= len(p.names) {
+			panic(fmt.Sprintf("lp: constraint references unknown variable %d", v))
+		}
+		if c != 0 {
+			cp[v] = c
+		}
+	}
+	p.cons = append(p.cons, constraint{coefs: cp, op: op, rhs: rhs})
+}
+
+// Solution holds an optimal solution of a Problem.
+type Solution struct {
+	Objective float64
+	values    []float64
+}
+
+// Value returns the optimal value of variable v.
+func (s *Solution) Value(v VarID) float64 { return s.values[v] }
+
+// Values returns all variable values indexed by VarID.
+func (s *Solution) Values() []float64 {
+	cp := make([]float64, len(s.values))
+	copy(cp, s.values)
+	return cp
+}
+
+const eps = 1e-9
+
+// Solve runs equality presolve followed by the two-phase simplex and
+// returns an optimal solution, or ErrInfeasible / ErrUnbounded.
+func (p *Problem) Solve() (*Solution, error) {
+	ps := presolveEq(p)
+	if ps.infeasible {
+		return nil, ErrInfeasible
+	}
+	if len(ps.order) == 0 {
+		return p.solveRaw()
+	}
+	sol, err := ps.reduced.solveRaw()
+	if err != nil {
+		return nil, err
+	}
+	return ps.recover(p, sol), nil
+}
+
+// solveRaw runs the two-phase simplex without presolve.
+func (p *Problem) solveRaw() (*Solution, error) {
+	// Standard form: free variables are split x = x⁺ − x⁻ with both parts
+	// nonnegative; constraints become equalities via slack/surplus; rows
+	// are normalized so every RHS is nonnegative; phase 1 minimizes the
+	// sum of artificial variables.
+	type colref struct {
+		orig VarID
+		sign float64
+	}
+	var cols []colref
+	colOf := make([]int, len(p.names))    // first column of variable
+	negColOf := make([]int, len(p.names)) // second column for free vars
+	for v := range p.names {
+		colOf[v] = len(cols)
+		cols = append(cols, colref{orig: VarID(v), sign: 1})
+		if p.free[v] {
+			negColOf[v] = len(cols)
+			cols = append(cols, colref{orig: VarID(v), sign: -1})
+		} else {
+			negColOf[v] = -1
+		}
+	}
+	nStruct := len(cols)
+	m := len(p.cons)
+
+	// Count slack columns.
+	nSlack := 0
+	for _, c := range p.cons {
+		if c.op != EQ {
+			nSlack++
+		}
+	}
+	nTotal := nStruct + nSlack + m // + artificials (one per row, some unused)
+
+	// Build tableau rows: A | b.
+	a := make([][]float64, m)
+	b := make([]float64, m)
+	basis := make([]int, m)
+	slackIdx := nStruct
+	artIdx := nStruct + nSlack
+	artUsed := make([]bool, nTotal)
+	for i, c := range p.cons {
+		row := make([]float64, nTotal)
+		for v, coef := range c.coefs {
+			row[colOf[v]] += coef
+			if negColOf[v] >= 0 {
+				row[negColOf[v]] -= coef
+			}
+		}
+		rhs := c.rhs
+		op := c.op
+		// Row scaling: normalize by the largest structural coefficient so
+		// rows with very different magnitudes (data weights vs. unit
+		// constraints) condition the tableau evenly.
+		rowMax := 0.0
+		for j := 0; j < nStruct; j++ {
+			if math.Abs(row[j]) > rowMax {
+				rowMax = math.Abs(row[j])
+			}
+		}
+		if rowMax > 0 {
+			inv := 1 / rowMax
+			for j := 0; j < nStruct; j++ {
+				row[j] *= inv
+			}
+			rhs *= inv
+		}
+		var slackCol = -1
+		if op != EQ {
+			slackCol = slackIdx
+			slackIdx++
+			if op == LE {
+				row[slackCol] = 1
+			} else {
+				row[slackCol] = -1
+			}
+		}
+		// Normalize RHS ≥ 0.
+		if rhs < 0 {
+			for j := range row {
+				row[j] = -row[j]
+			}
+			rhs = -rhs
+		}
+		// Choose a basic column: a slack with +1 coefficient if available,
+		// otherwise an artificial.
+		if slackCol >= 0 && row[slackCol] == 1 {
+			basis[i] = slackCol
+		} else {
+			ac := artIdx + i
+			row[ac] = 1
+			basis[i] = ac
+			artUsed[ac] = true
+		}
+		a[i] = row
+		b[i] = rhs
+	}
+
+	// Deterministic RHS perturbation breaks the ties that cause
+	// degenerate cycling (the classic perturbation method). Pivoting
+	// decisions use the perturbed RHS; the reported solution is read
+	// from the unperturbed RHS carried through the same pivots.
+	b2 := make([]float64, m)
+	copy(b2, b)
+	for i := range b {
+		b[i] += 1e-7 * float64(i+1) / float64(m+1)
+	}
+
+	// Phase 1: minimize sum of artificials.
+	phase1Cost := make([]float64, nTotal)
+	anyArt := false
+	for j := artIdx; j < nTotal; j++ {
+		if artUsed[j] {
+			phase1Cost[j] = 1
+			anyArt = true
+		}
+	}
+	if anyArt {
+		if _, err := simplex(a, b, b2, basis, phase1Cost, nTotal); err != nil {
+			return nil, err
+		}
+		// Judge feasibility on the unperturbed RHS: the perturbed
+		// phase-1 objective retains the perturbation residue even at
+		// feasible bases.
+		resid := 0.0
+		for i, bj := range basis {
+			if bj >= artIdx && artUsed[bj] {
+				resid += math.Abs(b2[i])
+			}
+		}
+		if resid > 1e-6 {
+			if debugLP {
+				fmt.Printf("phase1: residual %g (m=%d)\n", resid, m)
+			}
+			return nil, ErrInfeasible
+		}
+		// Drive remaining artificials out of the basis where possible.
+		for i := range basis {
+			if basis[i] >= artIdx {
+				for j := 0; j < artIdx; j++ {
+					if math.Abs(a[i][j]) > eps {
+						pivot(a, b, b2, basis, i, j)
+						break
+					}
+				}
+				// A zero row stays basic on its artificial at level 0.
+			}
+		}
+	}
+
+	// Phase 2: original costs, artificials forbidden.
+	cost := make([]float64, nTotal)
+	for j := 0; j < nStruct; j++ {
+		cost[j] = p.costs[cols[j].orig] * cols[j].sign
+	}
+	for j := artIdx; j < nTotal; j++ {
+		if artUsed[j] {
+			cost[j] = math.Inf(1) // never re-enter
+		}
+	}
+	if _, err := simplex(a, b, b2, basis, cost, artIdx); err != nil {
+		return nil, err
+	}
+
+	// Extract solution from the unperturbed RHS.
+	xcols := make([]float64, nTotal)
+	for i, bj := range basis {
+		xcols[bj] = b2[i]
+	}
+	values := make([]float64, len(p.names))
+	for j := 0; j < nStruct; j++ {
+		values[cols[j].orig] += cols[j].sign * xcols[j]
+	}
+	obj := 0.0
+	for v, x := range values {
+		obj += p.costs[v] * x
+	}
+	return &Solution{Objective: obj, values: values}, nil
+}
+
+// simplex runs the primal simplex on the tableau (a|b) with the given
+// basis, minimizing costᵀx. Only columns < limit may enter the basis.
+// b2 is the unperturbed RHS, carried through the same pivots. It returns
+// the optimal objective value (w.r.t. the perturbed RHS).
+func simplex(a [][]float64, b, b2 []float64, basis []int, cost []float64, limit int) (float64, error) {
+	m := len(a)
+	if m == 0 {
+		return 0, nil
+	}
+	n := len(a[0])
+	// Reduced costs require the basis columns to be identity; maintain by
+	// pivoting, and reprice from scratch periodically to purge the
+	// floating-point drift that incremental updates accumulate.
+	var z []float64
+	var zb float64
+	reprice := func() {
+		z = make([]float64, n)
+		copy(z, cost[:n])
+		zb = 0
+		for i, bj := range basis {
+			cb := z[bj]
+			if math.IsInf(cb, 1) {
+				// An artificial stuck in the basis at value 0: treat its
+				// cost as 0 for pricing (it remains at level 0).
+				z[bj] = 0
+				continue
+			}
+			if cb == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				z[j] -= cb * a[i][j]
+			}
+			zb -= cb * b[i]
+		}
+		// Basis columns must price to exactly zero.
+		for _, bj := range basis {
+			z[bj] = 0
+		}
+	}
+	reprice()
+	// Relative tolerance scale for reduced costs: degenerate equal-cost
+	// rays (e.g. translation freedom in alignment offsets) can leave
+	// tiny negative reduced costs on columns whose ratio test fails;
+	// treating those as unbounded would be wrong.
+	scale := 1.0
+	for j := range z {
+		if !math.IsInf(z[j], 0) && math.Abs(z[j]) > scale {
+			scale = math.Abs(z[j])
+		}
+	}
+	looseEps := 1e-5 * scale
+	skip := make([]bool, n)
+	fresh := true // z was just repriced from scratch
+	for iter := 0; ; iter++ {
+		if iter > 200000 {
+			return 0, errors.New("lp: iteration limit exceeded")
+		}
+		if iter%64 == 63 {
+			reprice()
+			fresh = true
+		}
+		// Bland's rule: entering column = lowest index with negative
+		// reduced cost (excluding columns proven rays of ~zero cost).
+		enter := -1
+		for j := 0; j < limit; j++ {
+			if skip[j] || math.IsInf(cost[j], 1) {
+				continue
+			}
+			if z[j] < -eps {
+				enter = j
+				break
+			}
+		}
+		if enter == -1 {
+			if !fresh {
+				// Confirm optimality against drift before concluding.
+				reprice()
+				fresh = true
+				continue
+			}
+			return -zb, nil // optimal
+		}
+		// Ratio test. Pivot elements below pivTol are rejected outright:
+		// pivoting on a near-zero element blows the tableau up. Among
+		// rows within tolerance of the minimum ratio, prefer the largest
+		// pivot element for stability; on fully degenerate steps (ratio
+		// 0) fall back to Bland's smallest-basis-index rule to guarantee
+		// progress.
+		const pivTol = 1e-7
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if a[i][enter] > pivTol {
+				r := b[i] / a[i][enter]
+				if r < best {
+					best = r
+					leave = i
+				}
+			}
+		}
+		if leave >= 0 {
+			tol := 1e-9 * (1 + math.Abs(best))
+			if best <= tol {
+				// Degenerate: Bland tie-break.
+				for i := 0; i < m; i++ {
+					if a[i][enter] > pivTol && b[i]/a[i][enter] <= best+tol && basis[i] < basis[leave] {
+						leave = i
+					}
+				}
+			} else {
+				// Stability tie-break: largest pivot among near-minimum
+				// ratios.
+				for i := 0; i < m; i++ {
+					if a[i][enter] > pivTol && b[i]/a[i][enter] <= best+tol && a[i][enter] > a[leave][enter] {
+						leave = i
+					}
+				}
+			}
+		}
+		if leave == -1 {
+			if !fresh {
+				reprice()
+				fresh = true
+				continue
+			}
+			colmax := 0.0
+			for i := 0; i < m; i++ {
+				if math.Abs(a[i][enter]) > colmax {
+					colmax = math.Abs(a[i][enter])
+				}
+			}
+			if z[enter] > -looseEps || (colmax < 1e-6 && cost[enter] >= 0) {
+				// A (numerically) zero-cost ray — or a column that has
+				// degenerated to noise with a nonnegative true cost:
+				// moving along it cannot improve the objective; exclude
+				// the column and continue.
+				skip[enter] = true
+				continue
+			}
+			if debugLP {
+				fmt.Printf("UNBOUNDED: iter=%d enter=%d z=%g looseEps=%g colmax=%g m=%d n=%d\n", iter, enter, z[enter], looseEps, colmax, m, n)
+			}
+			return 0, ErrUnbounded
+		}
+		skip[enter] = false
+		if iter%5000 == 0 && debugLP {
+			fmt.Printf("iter=%d enter=%d leave=%d z=%g obj=%g\n", iter, enter, leave, z[enter], -zb)
+		}
+		pivot(a, b, b2, basis, leave, enter)
+		fresh = false
+		// Update cost row.
+		c := z[enter]
+		if c != 0 {
+			for j := 0; j < n; j++ {
+				z[j] -= c * a[leave][j]
+			}
+			zb -= c * b[leave]
+		}
+	}
+}
+
+// pivot makes column enter basic in row leave, updating both the
+// perturbed (b) and unperturbed (b2) right-hand sides.
+func pivot(a [][]float64, b, b2 []float64, basis []int, leave, enter int) {
+	m := len(a)
+	n := len(a[leave])
+	piv := a[leave][enter]
+	inv := 1 / piv
+	for j := 0; j < n; j++ {
+		a[leave][j] *= inv
+	}
+	b[leave] *= inv
+	b2[leave] *= inv
+	a[leave][enter] = 1 // exactness
+	for i := 0; i < m; i++ {
+		if i == leave {
+			continue
+		}
+		f := a[i][enter]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			a[i][j] -= f * a[leave][j]
+		}
+		a[i][enter] = 0
+		b[i] -= f * b[leave]
+		b2[i] -= f * b2[leave]
+	}
+	basis[leave] = enter
+}
+
+// Dump renders the problem in LP-like text format for debugging.
+func (p *Problem) Dump() string {
+	var sb []byte
+	add := func(s string) { sb = append(sb, s...) }
+	add("min:")
+	for v, c := range p.costs {
+		if c != 0 {
+			add(fmt.Sprintf(" %+g*%s%d", c, p.names[v], v))
+		}
+	}
+	add("\n")
+	for _, c := range p.cons {
+		for v := 0; v < len(p.names); v++ {
+			if co, ok := c.coefs[VarID(v)]; ok {
+				add(fmt.Sprintf(" %+g*%s%d", co, p.names[v], v))
+			}
+		}
+		add(fmt.Sprintf(" %s %g\n", c.op, c.rhs))
+	}
+	return string(sb)
+}

@@ -1,0 +1,249 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func solveOrFail(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return sol
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSimpleMin(t *testing.T) {
+	// min x + y s.t. x + y >= 2, x >= 0, y >= 0 → obj 2.
+	p := NewProblem()
+	x := p.AddVariable("x", 1, false)
+	y := p.AddVariable("y", 1, false)
+	p.AddConstraint(map[VarID]float64{x: 1, y: 1}, GE, 2)
+	sol := solveOrFail(t, p)
+	if !almost(sol.Objective, 2) {
+		t.Errorf("objective = %v, want 2", sol.Objective)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// min 2x + 3y s.t. x + y = 10, x <= 4 → x=4, y=6, obj 26.
+	p := NewProblem()
+	x := p.AddVariable("x", 2, false)
+	y := p.AddVariable("y", 3, false)
+	p.AddConstraint(map[VarID]float64{x: 1, y: 1}, EQ, 10)
+	p.AddConstraint(map[VarID]float64{x: 1}, LE, 4)
+	sol := solveOrFail(t, p)
+	if !almost(sol.Objective, 26) {
+		t.Errorf("objective = %v, want 26", sol.Objective)
+	}
+	if !almost(sol.Value(x), 4) || !almost(sol.Value(y), 6) {
+		t.Errorf("x=%v y=%v, want 4, 6", sol.Value(x), sol.Value(y))
+	}
+}
+
+func TestFreeVariable(t *testing.T) {
+	// min |x - 5| encoded as min t s.t. t >= x-5, t >= 5-x, x free,
+	// with x pinned by x = 3 → t = 2.
+	p := NewProblem()
+	x := p.AddVariable("x", 0, true)
+	th := p.AddVariable("t", 1, false)
+	p.AddConstraint(map[VarID]float64{th: 1, x: -1}, GE, -5)
+	p.AddConstraint(map[VarID]float64{th: 1, x: 1}, GE, 5)
+	p.AddConstraint(map[VarID]float64{x: 1}, EQ, 3)
+	sol := solveOrFail(t, p)
+	if !almost(sol.Objective, 2) {
+		t.Errorf("objective = %v, want 2", sol.Objective)
+	}
+}
+
+func TestFreeVariableNegativeOptimum(t *testing.T) {
+	// min t s.t. t >= x+7, t >= -x-7, x free → x = -7, t = 0.
+	p := NewProblem()
+	x := p.AddVariable("x", 0, true)
+	th := p.AddVariable("t", 1, false)
+	p.AddConstraint(map[VarID]float64{th: 1, x: -1}, GE, 7)
+	p.AddConstraint(map[VarID]float64{th: 1, x: 1}, GE, -7)
+	sol := solveOrFail(t, p)
+	if !almost(sol.Objective, 0) {
+		t.Errorf("objective = %v, want 0", sol.Objective)
+	}
+	if !almost(sol.Value(x), -7) {
+		t.Errorf("x = %v, want -7", sol.Value(x))
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable("x", 1, false)
+	p.AddConstraint(map[VarID]float64{x: 1}, GE, 5)
+	p.AddConstraint(map[VarID]float64{x: 1}, LE, 3)
+	if _, err := p.Solve(); err != ErrInfeasible {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// min -x s.t. x >= 0 (no upper bound) → unbounded.
+	p := NewProblem()
+	x := p.AddVariable("x", -1, false)
+	p.AddConstraint(map[VarID]float64{x: 1}, GE, 0)
+	if _, err := p.Solve(); err != ErrUnbounded {
+		t.Errorf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestDegenerateTranslationRay(t *testing.T) {
+	// Alignment-shaped problem: offsets π1, π2, π3 free; costs only on
+	// differences; the uniform-translation ray must not be reported as
+	// unbounded. min 5θ12 + 3θ23, θ12 ≥ |π1−π2|, θ23 ≥ |π2−π3+4|.
+	p := NewProblem()
+	p1 := p.AddVariable("p1", 0, true)
+	p2 := p.AddVariable("p2", 0, true)
+	p3 := p.AddVariable("p3", 0, true)
+	t12 := p.AddVariable("t12", 5, false)
+	t23 := p.AddVariable("t23", 3, false)
+	p.AddConstraint(map[VarID]float64{t12: 1, p1: -1, p2: 1}, GE, 0)
+	p.AddConstraint(map[VarID]float64{t12: 1, p1: 1, p2: -1}, GE, 0)
+	p.AddConstraint(map[VarID]float64{t23: 1, p2: -1, p3: 1}, GE, -4)
+	p.AddConstraint(map[VarID]float64{t23: 1, p2: 1, p3: -1}, GE, 4)
+	sol := solveOrFail(t, p)
+	if !almost(sol.Objective, 0) {
+		t.Errorf("objective = %v, want 0 (π2=π1, π3=π2+4)", sol.Objective)
+	}
+}
+
+func TestLargeCoefficientRows(t *testing.T) {
+	// Mixed magnitudes like real alignment LPs: weights ~1e6.
+	p := NewProblem()
+	a := p.AddVariable("a", 0, true)
+	b := p.AddVariable("b", 0, true)
+	th := p.AddVariable("th", 1, false)
+	p.AddConstraint(map[VarID]float64{th: 1, a: -1e6, b: 1e6}, GE, -3e6)
+	p.AddConstraint(map[VarID]float64{th: 1, a: 1e6, b: -1e6}, GE, 3e6)
+	p.AddConstraint(map[VarID]float64{a: 1}, EQ, 0)
+	sol := solveOrFail(t, p)
+	// θ ≥ |1e6(b−a) + 3e6| with a=0 → minimized at b = −3, θ = 0.
+	if !almost(sol.Objective, 0) {
+		t.Errorf("objective = %v, want 0", sol.Objective)
+	}
+	if math.Abs(sol.Value(b)+3) > 1e-6 {
+		t.Errorf("b = %v, want -3", sol.Value(b))
+	}
+}
+
+func TestEqualityChain(t *testing.T) {
+	// A chain of equalities like ADG node constraints:
+	// x0 = 0, x1 = x0 + 2, x2 = x1 - 5, min θ ≥ |x2 - x0|.
+	p := NewProblem()
+	x0 := p.AddVariable("x0", 0, true)
+	x1 := p.AddVariable("x1", 0, true)
+	x2 := p.AddVariable("x2", 0, true)
+	th := p.AddVariable("th", 1, false)
+	p.AddConstraint(map[VarID]float64{x0: 1}, EQ, 0)
+	p.AddConstraint(map[VarID]float64{x1: 1, x0: -1}, EQ, 2)
+	p.AddConstraint(map[VarID]float64{x2: 1, x1: -1}, EQ, -5)
+	p.AddConstraint(map[VarID]float64{th: 1, x2: -1, x0: 1}, GE, 0)
+	p.AddConstraint(map[VarID]float64{th: 1, x2: 1, x0: -1}, GE, 0)
+	sol := solveOrFail(t, p)
+	if !almost(sol.Objective, 3) {
+		t.Errorf("objective = %v, want 3", sol.Objective)
+	}
+}
+
+func TestManyThetaTerms(t *testing.T) {
+	// A star of K offsets all pulled toward different constants with
+	// different weights; optimum is the weighted median.
+	p := NewProblem()
+	x := p.AddVariable("x", 0, true)
+	targets := []float64{1, 4, 9, 16, 25}
+	weights := []float64{1, 2, 7, 2, 1}
+	for i := range targets {
+		th := p.AddVariable("th", weights[i], false)
+		p.AddConstraint(map[VarID]float64{th: 1, x: -1}, GE, -targets[i])
+		p.AddConstraint(map[VarID]float64{th: 1, x: 1}, GE, targets[i])
+	}
+	sol := solveOrFail(t, p)
+	// Weighted median is 9 (weight mass: 3 below, 3 above, 7 at 9).
+	if math.Abs(sol.Value(x)-9) > 1e-6 {
+		t.Errorf("x = %v, want 9", sol.Value(x))
+	}
+}
+
+// TestRandomFeasibility cross-checks the solver on random LPs against a
+// brute-force grid search over a small integer box.
+func TestRandomFeasibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		nv := 2 + rng.Intn(2) // 2-3 vars
+		p := NewProblem()
+		vars := make([]VarID, nv)
+		costs := make([]float64, nv)
+		for i := range vars {
+			costs[i] = float64(rng.Intn(5) + 1)
+			vars[i] = p.AddVariable("v", costs[i], false)
+		}
+		type con struct {
+			coefs []float64
+			op    Op
+			rhs   float64
+		}
+		var cons []con
+		nc := 1 + rng.Intn(3)
+		for c := 0; c < nc; c++ {
+			coefs := make([]float64, nv)
+			m := map[VarID]float64{}
+			for i := range vars {
+				coefs[i] = float64(rng.Intn(5) - 2)
+				m[vars[i]] = coefs[i]
+			}
+			op := GE
+			rhs := float64(rng.Intn(6) - 1)
+			cons = append(cons, con{coefs, op, rhs})
+			p.AddConstraint(m, op, rhs)
+		}
+		// Brute force over integer grid [0,10]^nv.
+		best := math.Inf(1)
+		var rec func(i int, x []float64)
+		rec = func(i int, x []float64) {
+			if i == nv {
+				for _, c := range cons {
+					s := 0.0
+					for j := range x {
+						s += c.coefs[j] * x[j]
+					}
+					if s < c.rhs-1e-9 {
+						return
+					}
+				}
+				obj := 0.0
+				for j := range x {
+					obj += costs[j] * x[j]
+				}
+				if obj < best {
+					best = obj
+				}
+				return
+			}
+			for v := 0; v <= 10; v++ {
+				x[i] = float64(v)
+				rec(i+1, x)
+			}
+		}
+		rec(0, make([]float64, nv))
+		sol, err := p.Solve()
+		if err != nil {
+			if err == ErrInfeasible && !math.IsInf(best, 1) {
+				t.Fatalf("trial %d: solver infeasible but grid found %v", trial, best)
+			}
+			continue
+		}
+		// LP optimum must be ≤ any feasible integer point.
+		if !math.IsInf(best, 1) && sol.Objective > best+1e-6 {
+			t.Errorf("trial %d: objective %v worse than grid %v", trial, sol.Objective, best)
+		}
+	}
+}

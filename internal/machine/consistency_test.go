@@ -1,0 +1,55 @@
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/build"
+	"repro/internal/cost"
+	"repro/internal/lang"
+)
+
+// TestCostModelSimulatorConsistency: whenever the §2.3 cost model says an
+// alignment is free, the machine simulator must measure zero traffic —
+// the model is an upper-bound abstraction of the machine.
+func TestCostModelSimulatorConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 20; trial++ {
+		n := int64(20 + rng.Intn(20))
+		w := int64(5 + rng.Intn(5))
+		lo := int64(1 + rng.Intn(int(n-w-6)))
+		src := fmt.Sprintf(`
+real A(%d), B(%d)
+do k = 1, 5
+  A(k+%d:k+%d) = A(k+%d:k+%d) + B(k+%d:k+%d)
+enddo
+`, n, n, lo, lo+w-1, lo, lo+w-1, lo, lo+w-1)
+		info, err := lang.Analyze(lang.MustParse(src))
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+		g, err := build.Build(info)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		res, err := align.Align(g, align.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		model := cost.Exact(g, res.Assignment)
+		cfg := Config{Grid: []int{4}, Extent: []int64{128}}
+		tr := Simulate(g, res.Assignment, cfg)
+		if model.Total() == 0 && (tr.Elements != 0 || tr.GeneralElements != 0 || tr.BroadcastElements != 0) {
+			t.Errorf("trial %d: model free but simulator moved data: %s\n%s", trial, tr, src)
+		}
+		if model.Total() > 0 && tr.Time(cfg) == 0 && cfg.Grid[0] > 1 {
+			// Not an error in general (block distribution can hide small
+			// shifts), but flag wildly inconsistent cases.
+			if model.Shift > int64(cfg.Extent[0]) {
+				t.Errorf("trial %d: model cost %d but simulator silent", trial, model.Total())
+			}
+		}
+	}
+}

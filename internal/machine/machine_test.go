@@ -1,0 +1,140 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/adg"
+	"repro/internal/align"
+	"repro/internal/build"
+	"repro/internal/lang"
+)
+
+func aligned(t *testing.T, src string, opts align.Options) (*align.Result, Config) {
+	t.Helper()
+	info, err := lang.Analyze(lang.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := build.Build(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := align.Align(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, Config{Grid: make([]int, g.TemplateRank)}
+}
+
+func TestOwnerBlock(t *testing.T) {
+	cfg := Config{Grid: []int{4}, Dist: []Distribution{Block}, Extent: []int64{100}}
+	cfg = cfg.withDefaults(1)
+	if cfg.Owner(0, 0) != 0 || cfg.Owner(0, 24) != 0 {
+		t.Error("block owner wrong at start")
+	}
+	if cfg.Owner(0, 25) != 1 || cfg.Owner(0, 99) != 3 {
+		t.Error("block owner wrong at end")
+	}
+}
+
+func TestOwnerCyclic(t *testing.T) {
+	cfg := Config{Grid: []int{4}, Dist: []Distribution{Cyclic}, Extent: []int64{100}}
+	cfg = cfg.withDefaults(1)
+	if cfg.Owner(0, 0) != 0 || cfg.Owner(0, 5) != 1 || cfg.Owner(0, -1) != 3 {
+		t.Error("cyclic owner wrong")
+	}
+}
+
+func TestSimulateAlignedIsQuiet(t *testing.T) {
+	// Figure 1 with mobile alignment: zero realignment → zero traffic.
+	res, _ := aligned(t, `
+real A(100,100), V(200)
+do k = 1, 100
+  A(k,1:100) = A(k,1:100) + V(k:k+99)
+enddo
+`, align.Options{Replication: true})
+	cfg := Config{Grid: []int{4, 4}, Extent: []int64{256, 256}}
+	tr := Simulate(res.Graph, res.Assignment, cfg)
+	if tr.Elements != 0 || tr.GeneralElements != 0 {
+		t.Errorf("aligned program moved data: %s", tr)
+	}
+}
+
+func TestSimulateStaticFig1Traffic(t *testing.T) {
+	// The best STATIC alignment of Figure 1 must move data every
+	// iteration; the mobile alignment must not. The simulator is how the
+	// difference shows up as machine traffic.
+	info, _ := lang.Analyze(lang.MustParse(`
+real A(100,100), V(200)
+do k = 1, 100
+  A(k,1:100) = A(k,1:100) + V(k:k+99)
+enddo
+`))
+	g, _ := build.Build(info)
+	as, err := align.AxisStride(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repl := align.NoReplication(g)
+	mobile, err := align.Offsets(g, as, repl, align.OffsetOptions{Strategy: align.StrategyFixed, M: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := align.Offsets(g, as, repl, align.OffsetOptions{Strategy: align.StrategyFixed, M: 3, Static: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Grid: []int{4, 4}, Extent: []int64{256, 256}}
+	trM := Simulate(g, buildAssignment(g, as, repl, mobile), cfg)
+	trS := Simulate(g, buildAssignment(g, as, repl, static), cfg)
+	if trM.Elements != 0 {
+		t.Errorf("mobile alignment still moves %d elements", trM.Elements)
+	}
+	if trS.Elements == 0 && trS.Messages == 0 {
+		t.Error("static alignment moved nothing; expected per-iteration shifts")
+	}
+	if trS.Time(cfg) <= trM.Time(cfg) {
+		t.Errorf("static time %v not worse than mobile %v", trS.Time(cfg), trM.Time(cfg))
+	}
+}
+
+// buildAssignment assembles a full assignment from phase results.
+func buildAssignment(g *adg.Graph, as *align.AxisStrideResult, repl *align.ReplResult, off *align.OffsetResult) *adg.Assignment {
+	r := &align.Result{Graph: g, AxisStride: as, Repl: repl, Offset: off}
+	return r.BuildAssignment()
+}
+
+func TestAlphaBetaTime(t *testing.T) {
+	cfg := Config{Grid: []int{4}, Alpha: 10, Beta: 2, Extent: []int64{100}}
+	cfg = cfg.withDefaults(1)
+	tr := Traffic{Messages: 3, Elements: 50}
+	if got := tr.Time(cfg); got != 10*3+2*50 {
+		t.Errorf("time = %v", got)
+	}
+	// Broadcasts pay the log factor.
+	tr2 := Traffic{Broadcasts: 1, BroadcastElements: 10}
+	if tr2.Time(cfg) <= 0 {
+		t.Error("broadcast time zero")
+	}
+}
+
+func TestCrossingFraction(t *testing.T) {
+	cfg := Config{Grid: []int{4}, Dist: []Distribution{Block}, Extent: []int64{100}}
+	cfg = cfg.withDefaults(1)
+	// Block size 25: shift by 25+ moves everything.
+	if f := crossingFraction(cfg, 0, 30, 0); f != 1 {
+		t.Errorf("full crossing = %v", f)
+	}
+	if f := crossingFraction(cfg, 0, 5, 0); f != 5.0/25.0 {
+		t.Errorf("partial crossing = %v", f)
+	}
+	// Cyclic: any non-multiple-of-P shift moves everything.
+	cyc := Config{Grid: []int{4}, Dist: []Distribution{Cyclic}, Extent: []int64{100}}
+	cyc = cyc.withDefaults(1)
+	if f := crossingFraction(cyc, 0, 1, 0); f != 1 {
+		t.Errorf("cyclic crossing = %v", f)
+	}
+	if f := crossingFraction(cyc, 0, 4, 0); f != 0 {
+		t.Errorf("cyclic multiple-of-P crossing = %v", f)
+	}
+}

@@ -1,0 +1,70 @@
+// Package metric implements the distance functions of the paper's cost
+// model (§2.3). A position is an encoding of a legal alignment; the
+// distance d(p, q) is the per-element cost of changing an array's
+// position from p to q. Two metrics are used: the discrete metric for
+// axis and stride alignment (any change requires general communication)
+// and the grid (L1 / Manhattan) metric for offset alignment. The grid
+// metric is separable, which is what lets offsets be solved one template
+// axis at a time.
+package metric
+
+// Metric measures the per-element realignment cost between two positions,
+// each given as a vector of template coordinates.
+type Metric interface {
+	// Distance returns d(p, q) ≥ 0. Implementations must satisfy the
+	// metric axioms: identity, symmetry, and the triangle inequality.
+	Distance(p, q []int64) int64
+	// Name identifies the metric in reports.
+	Name() string
+}
+
+// Discrete is the discrete metric: d(p,q) = 0 if p = q, else 1. It models
+// the cost of axis and stride changes, abstracting general communication
+// away from routing and congestion details.
+type Discrete struct{}
+
+// Distance implements Metric.
+func (Discrete) Distance(p, q []int64) int64 {
+	if len(p) != len(q) {
+		return 1
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return 1
+		}
+	}
+	return 0
+}
+
+// Name implements Metric.
+func (Discrete) Name() string { return "discrete" }
+
+// Grid is the grid metric: d(p,q) = Σ |p_i - q_i| (L1). It models offset
+// realignment as nearest-neighbor shift distance on the template.
+type Grid struct{}
+
+// Distance implements Metric.
+func (Grid) Distance(p, q []int64) int64 {
+	if len(p) != len(q) {
+		panic("metric: grid distance between positions of different rank")
+	}
+	var d int64
+	for i := range p {
+		d += abs(p[i] - q[i])
+	}
+	return d
+}
+
+// Name implements Metric.
+func (Grid) Name() string { return "grid" }
+
+// Abs1 returns the one-dimensional grid distance |p - q|; offset alignment
+// uses this per-axis form throughout (separability).
+func Abs1(p, q int64) int64 { return abs(p - q) }
+
+func abs(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,73 @@
+package metric
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDiscreteDistance(t *testing.T) {
+	d := Discrete{}
+	if d.Distance([]int64{1, 2}, []int64{1, 2}) != 0 {
+		t.Error("equal positions should be distance 0")
+	}
+	if d.Distance([]int64{1, 2}, []int64{1, 3}) != 1 {
+		t.Error("unequal positions should be distance 1")
+	}
+	if d.Distance([]int64{1}, []int64{1, 2}) != 1 {
+		t.Error("rank mismatch should be distance 1")
+	}
+}
+
+func TestGridDistance(t *testing.T) {
+	g := Grid{}
+	if got := g.Distance([]int64{0, 0}, []int64{3, 4}); got != 7 {
+		t.Errorf("L1 distance = %d, want 7", got)
+	}
+	if got := g.Distance([]int64{-2}, []int64{2}); got != 4 {
+		t.Errorf("L1 distance = %d, want 4", got)
+	}
+}
+
+// Property: metric axioms for both metrics — identity, symmetry,
+// triangle inequality (§2.3 requires positions to form a metric space).
+func TestMetricAxioms(t *testing.T) {
+	for _, m := range []Metric{Discrete{}, Grid{}} {
+		f := func(a, b, c [3]int8) bool {
+			p := []int64{int64(a[0]), int64(a[1]), int64(a[2])}
+			q := []int64{int64(b[0]), int64(b[1]), int64(b[2])}
+			r := []int64{int64(c[0]), int64(c[1]), int64(c[2])}
+			if m.Distance(p, p) != 0 {
+				return false
+			}
+			if m.Distance(p, q) != m.Distance(q, p) {
+				return false
+			}
+			if m.Distance(p, r) > m.Distance(p, q)+m.Distance(q, r) {
+				return false
+			}
+			return m.Distance(p, q) >= 0
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", m.Name(), err)
+		}
+	}
+}
+
+// Property: the grid metric is separable — the distance is the sum of
+// per-axis distances (the property §2.3 uses to solve offsets per axis).
+func TestGridSeparability(t *testing.T) {
+	g := Grid{}
+	f := func(a, b [4]int8) bool {
+		p := make([]int64, 4)
+		q := make([]int64, 4)
+		var sum int64
+		for i := 0; i < 4; i++ {
+			p[i], q[i] = int64(a[i]), int64(b[i])
+			sum += Abs1(p[i], q[i])
+		}
+		return g.Distance(p, q) == sum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,173 @@
+package netflow
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMaxFlowSimple(t *testing.T) {
+	// s→a (3), s→b (2), a→t (2), b→t (3), a→b (1): max flow 5? No:
+	// s→a 3, a→t 2, a→b 1, s→b 2, b→t 3 → flow = 2 + min(2+1,3)=... = 5.
+	g := NewGraph(4)
+	s, a, b, tk := 0, 1, 2, 3
+	g.AddEdge(s, a, 3)
+	g.AddEdge(s, b, 2)
+	g.AddEdge(a, tk, 2)
+	g.AddEdge(b, tk, 3)
+	g.AddEdge(a, b, 1)
+	r := g.MaxFlow(s, tk)
+	if r.Value != 5 {
+		t.Errorf("max flow = %d, want 5", r.Value)
+	}
+}
+
+func TestMaxFlowDisconnected(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1, 10)
+	r := g.MaxFlow(0, 2)
+	if r.Value != 0 {
+		t.Errorf("flow to unreachable sink = %d", r.Value)
+	}
+	side := r.SourceSide()
+	if !side[0] || !side[1] || side[2] {
+		t.Errorf("source side wrong: %v", side)
+	}
+}
+
+func TestMinCutEdges(t *testing.T) {
+	// Classic: bottleneck in the middle.
+	g := NewGraph(4)
+	g.AddEdge(0, 1, 100)
+	g.AddEdge(1, 2, 7)
+	g.AddEdge(2, 3, 100)
+	r := g.MaxFlow(0, 3)
+	if r.Value != 7 {
+		t.Fatalf("flow = %d", r.Value)
+	}
+	cut := r.MinCutEdges()
+	if len(cut) != 1 || cut[0].From != 1 || cut[0].To != 2 || cut[0].Capacity != 7 {
+		t.Errorf("cut = %+v", cut)
+	}
+}
+
+func TestInfEdges(t *testing.T) {
+	// Forced labels via Inf edges: vertex 1 forced source side, vertex 2
+	// forced sink side; the finite edge between them must be cut.
+	g := NewGraph(4)
+	s, u, v, tk := 0, 1, 2, 3
+	g.AddEdge(s, u, Inf)
+	g.AddEdge(v, tk, Inf)
+	g.AddEdge(u, v, 42)
+	r := g.MaxFlow(s, tk)
+	if r.Value != 42 {
+		t.Fatalf("flow = %d, want 42", r.Value)
+	}
+	side := r.SourceSide()
+	if !side[u] || side[v] {
+		t.Errorf("forced labels violated: %v", side)
+	}
+}
+
+// bruteMinCut enumerates all 2^n partitions.
+func bruteMinCut(n int, edges []LPEdge, s, t int) int64 {
+	best := int64(1) << 62
+	for mask := 0; mask < 1<<n; mask++ {
+		if mask&(1<<s) == 0 || mask&(1<<t) != 0 {
+			continue
+		}
+		var c int64
+		for _, e := range edges {
+			if mask&(1<<e.From) != 0 && mask&(1<<e.To) == 0 {
+				c += e.Capacity
+			}
+		}
+		if c < best {
+			best = c
+		}
+	}
+	return best
+}
+
+// Property: max-flow = min-cut on random graphs (brute-forced).
+func TestMaxFlowMinCutProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 4 + rng.Intn(4)
+		var edges []LPEdge
+		for i := 0; i < n*2; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			edges = append(edges, LPEdge{From: u, To: v, Capacity: int64(rng.Intn(20) + 1)})
+		}
+		s, tk := 0, n-1
+		g := NewGraph(n)
+		for _, e := range edges {
+			g.AddEdge(e.From, e.To, e.Capacity)
+		}
+		r := g.MaxFlow(s, tk)
+		want := bruteMinCut(n, edges, s, tk)
+		if r.Value != want {
+			t.Fatalf("trial %d: flow %d != brute min cut %d", trial, r.Value, want)
+		}
+		// The reported cut must have capacity equal to the flow.
+		var cutCap int64
+		for _, ce := range r.MinCutEdges() {
+			cutCap += ce.Capacity
+		}
+		if cutCap != r.Value {
+			t.Fatalf("trial %d: cut capacity %d != flow %d", trial, cutCap, r.Value)
+		}
+	}
+}
+
+// TestMinCutLPAgainstDinic cross-checks the LP formulation (§5.2's noted
+// alternative) against Dinic on random graphs.
+func TestMinCutLPAgainstDinic(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(3)
+		var edges []LPEdge
+		for i := 0; i < n+rng.Intn(n); i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			edges = append(edges, LPEdge{From: u, To: v, Capacity: int64(rng.Intn(15) + 1)})
+		}
+		g := NewGraph(n)
+		for _, e := range edges {
+			g.AddEdge(e.From, e.To, e.Capacity)
+		}
+		r := g.MaxFlow(0, n-1)
+		lpVal, _, err := MinCutLP(n, edges, 0, n-1)
+		if err != nil {
+			t.Fatalf("trial %d: MinCutLP: %v", trial, err)
+		}
+		if lpVal != r.Value {
+			t.Errorf("trial %d: LP min cut %d != Dinic %d", trial, lpVal, r.Value)
+		}
+	}
+}
+
+func TestEdgeFlowConservation(t *testing.T) {
+	g := NewGraph(5)
+	ids := []int{
+		g.AddEdge(0, 1, 10),
+		g.AddEdge(0, 2, 10),
+		g.AddEdge(1, 3, 4),
+		g.AddEdge(2, 3, 9),
+		g.AddEdge(3, 4, 12),
+	}
+	r := g.MaxFlow(0, 4)
+	if r.Value != 12 {
+		t.Fatalf("flow = %d, want 12", r.Value)
+	}
+	// Conservation at vertex 3: in = out.
+	in := r.EdgeFlow(ids[2]) + r.EdgeFlow(ids[3])
+	out := r.EdgeFlow(ids[4])
+	if in != out {
+		t.Errorf("conservation violated: in %d out %d", in, out)
+	}
+}

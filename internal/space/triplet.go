@@ -1,0 +1,416 @@
+// Package space provides regular index triplets l:h:s and Cartesian
+// iteration spaces built from them. Triplets describe both array sections
+// (Fortran 90 section subscripts) and the ranges of loop induction
+// variables; iteration spaces label ADG edges inside loop nests.
+package space
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Triplet is a regular integer progression l, l+s, l+2s, ..., not exceeding
+// h (for s > 0) or not below h (for s < 0). It mirrors the Fortran 90
+// section triplet l:h:s. The zero value is the empty triplet.
+type Triplet struct {
+	Lo, Hi, Step int64
+}
+
+// NewTriplet returns the triplet l:h:s. A zero step is normalized to 1.
+func NewTriplet(lo, hi, step int64) Triplet {
+	if step == 0 {
+		step = 1
+	}
+	return Triplet{Lo: lo, Hi: hi, Step: step}
+}
+
+// Point returns the singleton triplet v:v:1.
+func Point(v int64) Triplet { return Triplet{Lo: v, Hi: v, Step: 1} }
+
+// Range returns lo:hi:1.
+func Range(lo, hi int64) Triplet { return Triplet{Lo: lo, Hi: hi, Step: 1} }
+
+// Count returns the number of elements in the triplet.
+func (t Triplet) Count() int64 {
+	if t.Step == 0 {
+		return 0
+	}
+	n := (t.Hi-t.Lo)/t.Step + 1
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// Empty reports whether the triplet contains no elements.
+func (t Triplet) Empty() bool { return t.Count() == 0 }
+
+// Last returns the last element actually taken by the progression.
+// It panics on an empty triplet.
+func (t Triplet) Last() int64 {
+	n := t.Count()
+	if n == 0 {
+		panic("space: Last of empty triplet")
+	}
+	return t.Lo + (n-1)*t.Step
+}
+
+// At returns the k-th element (0-based). It panics if k is out of range.
+func (t Triplet) At(k int64) int64 {
+	if k < 0 || k >= t.Count() {
+		panic(fmt.Sprintf("space: index %d out of triplet %v", k, t))
+	}
+	return t.Lo + k*t.Step
+}
+
+// Contains reports whether v is an element of the triplet.
+func (t Triplet) Contains(v int64) bool {
+	if t.Empty() {
+		return false
+	}
+	d := v - t.Lo
+	if d%t.Step != 0 {
+		return false
+	}
+	k := d / t.Step
+	return k >= 0 && k < t.Count()
+}
+
+// Values materializes the triplet as a slice. Intended for small triplets
+// in tests and exact cost evaluation.
+func (t Triplet) Values() []int64 {
+	n := t.Count()
+	vs := make([]int64, 0, n)
+	for k := int64(0); k < n; k++ {
+		vs = append(vs, t.Lo+k*t.Step)
+	}
+	return vs
+}
+
+// Normalize returns an equivalent triplet whose Hi is the last element
+// taken (so l:h:s with (h-l) an exact multiple of s), which makes equal
+// progressions compare equal.
+func (t Triplet) Normalize() Triplet {
+	if t.Empty() {
+		return Triplet{Lo: 0, Hi: -1, Step: 1}
+	}
+	return Triplet{Lo: t.Lo, Hi: t.Last(), Step: t.Step}
+}
+
+// Reverse returns the triplet enumerating the same set in opposite order.
+func (t Triplet) Reverse() Triplet {
+	if t.Empty() {
+		return t
+	}
+	return Triplet{Lo: t.Last(), Hi: t.Lo, Step: -t.Step}
+}
+
+// Shift returns the triplet translated by d.
+func (t Triplet) Shift(d int64) Triplet {
+	return Triplet{Lo: t.Lo + d, Hi: t.Hi + d, Step: t.Step}
+}
+
+// Scale returns the triplet with every element multiplied by c (c != 0).
+func (t Triplet) Scale(c int64) Triplet {
+	if c == 0 {
+		panic("space: Scale by zero")
+	}
+	return Triplet{Lo: t.Lo * c, Hi: t.Hi * c, Step: t.Step * c}
+}
+
+// SplitAt partitions the triplet into the elements strictly before the
+// first element >= v in iteration order (for positive step) and the rest.
+// For negative steps the comparison is <=. Either part may be empty.
+func (t Triplet) SplitAt(v int64) (before, after Triplet) {
+	n := t.Count()
+	if n == 0 {
+		return t, t
+	}
+	var k int64 // number of leading elements in "before"
+	if t.Step > 0 {
+		if v <= t.Lo {
+			k = 0
+		} else {
+			k = (v - t.Lo + t.Step - 1) / t.Step
+			if k > n {
+				k = n
+			}
+		}
+	} else {
+		if v >= t.Lo {
+			k = 0
+		} else {
+			d := t.Lo - v
+			k = (d - t.Step - 1) / (-t.Step) // ceil(d/|s|)
+			if k > n {
+				k = n
+			}
+		}
+	}
+	if k == 0 {
+		return Triplet{Lo: 0, Hi: -1, Step: 1}, t.Normalize()
+	}
+	if k == n {
+		return t.Normalize(), Triplet{Lo: 0, Hi: -1, Step: 1}
+	}
+	before = Triplet{Lo: t.Lo, Hi: t.At(k - 1), Step: t.Step}
+	after = Triplet{Lo: t.At(k), Hi: t.Last(), Step: t.Step}
+	return before, after
+}
+
+// SplitAtIndex partitions the triplet into its first k elements and the
+// rest. k is clamped to [0, Count()].
+func (t Triplet) SplitAtIndex(k int64) (before, after Triplet) {
+	n := t.Count()
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	empty := Triplet{Lo: 0, Hi: -1, Step: 1}
+	switch k {
+	case 0:
+		return empty, t.Normalize()
+	case n:
+		return t.Normalize(), empty
+	}
+	before = Triplet{Lo: t.Lo, Hi: t.At(k - 1), Step: t.Step}
+	after = Triplet{Lo: t.At(k), Hi: t.Last(), Step: t.Step}
+	return before, after
+}
+
+// Partition splits the triplet into m consecutive subranges whose sizes
+// differ by at most one element. Fewer than m parts are returned when the
+// triplet has fewer than m elements.
+func (t Triplet) Partition(m int) []Triplet {
+	if m <= 0 {
+		panic("space: Partition with m <= 0")
+	}
+	n := t.Count()
+	if n == 0 {
+		return nil
+	}
+	if int64(m) > n {
+		m = int(n)
+	}
+	parts := make([]Triplet, 0, m)
+	start := int64(0)
+	for j := 0; j < m; j++ {
+		cnt := n / int64(m)
+		if int64(j) < n%int64(m) {
+			cnt++
+		}
+		parts = append(parts, Triplet{
+			Lo:   t.At(start),
+			Hi:   t.At(start + cnt - 1),
+			Step: t.Step,
+		})
+		start += cnt
+	}
+	return parts
+}
+
+// PartitionAt splits the triplet into consecutive subranges with
+// boundaries at the given values (in iteration order). Empty subranges are
+// dropped.
+func (t Triplet) PartitionAt(cuts ...int64) []Triplet {
+	parts := []Triplet{}
+	rest := t.Normalize()
+	for _, c := range cuts {
+		before, after := rest.SplitAt(c)
+		if !before.Empty() {
+			parts = append(parts, before)
+		}
+		rest = after
+		if rest.Empty() {
+			break
+		}
+	}
+	if !rest.Empty() {
+		parts = append(parts, rest)
+	}
+	return parts
+}
+
+// Equal reports whether two triplets enumerate the same progression in the
+// same order.
+func (t Triplet) Equal(u Triplet) bool {
+	tn, un := t.Normalize(), u.Normalize()
+	if tn.Empty() && un.Empty() {
+		return true
+	}
+	if tn.Count() == 1 && un.Count() == 1 {
+		return tn.Lo == un.Lo
+	}
+	return tn == un
+}
+
+// String renders the triplet in Fortran section syntax.
+func (t Triplet) String() string {
+	if t.Empty() {
+		return "∅"
+	}
+	if t.Count() == 1 {
+		return fmt.Sprintf("%d", t.Lo)
+	}
+	if t.Step == 1 {
+		return fmt.Sprintf("%d:%d", t.Lo, t.Hi)
+	}
+	return fmt.Sprintf("%d:%d:%d", t.Lo, t.Hi, t.Step)
+}
+
+// Space is a Cartesian product of triplets: the iteration space of a loop
+// nest. Dim(0) is the outermost loop. The empty product (rank 0) is the
+// iteration space of straight-line code and contains exactly one (empty)
+// iteration vector.
+type Space struct {
+	dims []Triplet
+}
+
+// NewSpace builds an iteration space from per-level triplets.
+func NewSpace(dims ...Triplet) Space {
+	cp := make([]Triplet, len(dims))
+	copy(cp, dims)
+	return Space{dims: cp}
+}
+
+// Scalar returns the rank-0 space holding a single empty iteration vector.
+func Scalar() Space { return Space{} }
+
+// Rank returns the nesting depth.
+func (s Space) Rank() int { return len(s.dims) }
+
+// Dim returns the triplet at level k (0 = outermost).
+func (s Space) Dim(k int) Triplet { return s.dims[k] }
+
+// Dims returns a copy of the per-level triplets.
+func (s Space) Dims() []Triplet {
+	cp := make([]Triplet, len(s.dims))
+	copy(cp, s.dims)
+	return cp
+}
+
+// Size returns the number of iteration vectors in the space.
+func (s Space) Size() int64 {
+	n := int64(1)
+	for _, d := range s.dims {
+		n *= d.Count()
+	}
+	return n
+}
+
+// Empty reports whether the space contains no iteration vectors.
+func (s Space) Empty() bool { return s.Size() == 0 }
+
+// Extend returns the space with one more (innermost) loop level appended.
+func (s Space) Extend(t Triplet) Space {
+	dims := make([]Triplet, len(s.dims)+1)
+	copy(dims, s.dims)
+	dims[len(s.dims)] = t
+	return Space{dims: dims}
+}
+
+// Outer returns the space with the innermost level removed.
+func (s Space) Outer() Space {
+	if len(s.dims) == 0 {
+		panic("space: Outer of rank-0 space")
+	}
+	return NewSpace(s.dims[:len(s.dims)-1]...)
+}
+
+// WithDim returns a copy of the space with level k replaced by t.
+func (s Space) WithDim(k int, t Triplet) Space {
+	dims := s.Dims()
+	dims[k] = t
+	return Space{dims: dims}
+}
+
+// Each calls f for every iteration vector in lexicographic order
+// (outermost varies slowest). The slice passed to f is reused; callers
+// must copy it if they retain it. Each stops early if f returns false.
+func (s Space) Each(f func(iv []int64) bool) {
+	iv := make([]int64, len(s.dims))
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == len(s.dims) {
+			return f(iv)
+		}
+		d := s.dims[k]
+		n := d.Count()
+		for j := int64(0); j < n; j++ {
+			iv[k] = d.Lo + j*d.Step
+			if !rec(k + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+}
+
+// Vectors materializes all iteration vectors. Intended for small spaces.
+func (s Space) Vectors() [][]int64 {
+	out := make([][]int64, 0, s.Size())
+	s.Each(func(iv []int64) bool {
+		cp := make([]int64, len(iv))
+		copy(cp, iv)
+		out = append(out, cp)
+		return true
+	})
+	return out
+}
+
+// SubSpaces partitions the space into the Cartesian product of m-way
+// partitions of every level: 3-way partitioning of a depth-k nest yields
+// the paper's 3^k subranges (§4.4).
+func (s Space) SubSpaces(m int) []Space {
+	if s.Rank() == 0 {
+		return []Space{s}
+	}
+	perLevel := make([][]Triplet, s.Rank())
+	for k := range s.dims {
+		perLevel[k] = s.dims[k].Partition(m)
+	}
+	out := []Space{}
+	cur := make([]Triplet, s.Rank())
+	var rec func(k int)
+	rec = func(k int) {
+		if k == s.Rank() {
+			out = append(out, NewSpace(cur...))
+			return
+		}
+		for _, t := range perLevel[k] {
+			cur[k] = t
+			rec(k + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// Equal reports whether two spaces have the same rank and equal triplets
+// at every level.
+func (s Space) Equal(u Space) bool {
+	if s.Rank() != u.Rank() {
+		return false
+	}
+	for k := range s.dims {
+		if !s.dims[k].Equal(u.dims[k]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the space as a product of triplets.
+func (s Space) String() string {
+	if len(s.dims) == 0 {
+		return "{()}"
+	}
+	parts := make([]string, len(s.dims))
+	for k, d := range s.dims {
+		parts[k] = d.String()
+	}
+	return strings.Join(parts, " × ")
+}

@@ -1,0 +1,241 @@
+package space
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTripletCount(t *testing.T) {
+	cases := []struct {
+		t    Triplet
+		want int64
+	}{
+		{NewTriplet(1, 10, 1), 10},
+		{NewTriplet(1, 10, 2), 5},
+		{NewTriplet(1, 9, 2), 5},
+		{NewTriplet(10, 1, -1), 10},
+		{NewTriplet(10, 1, 1), 0},
+		{NewTriplet(5, 5, 1), 1},
+		{NewTriplet(1, 100, 3), 34},
+		{NewTriplet(2, 2000, 2), 1000},
+	}
+	for _, c := range cases {
+		if got := c.t.Count(); got != c.want {
+			t.Errorf("%v.Count() = %d, want %d", c.t, got, c.want)
+		}
+	}
+}
+
+func TestTripletValues(t *testing.T) {
+	got := NewTriplet(1, 10, 3).Values()
+	want := []int64{1, 4, 7, 10}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Values = %v, want %v", got, want)
+	}
+	got = NewTriplet(10, 1, -4).Values()
+	want = []int64{10, 6, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Values = %v, want %v", got, want)
+	}
+}
+
+func TestTripletContains(t *testing.T) {
+	tr := NewTriplet(2, 20, 3) // 2,5,8,11,14,17,20
+	for _, v := range tr.Values() {
+		if !tr.Contains(v) {
+			t.Errorf("Contains(%d) = false", v)
+		}
+	}
+	for _, v := range []int64{1, 3, 21, 23, 0, -1} {
+		if tr.Contains(v) {
+			t.Errorf("Contains(%d) = true", v)
+		}
+	}
+}
+
+func TestTripletAtLast(t *testing.T) {
+	tr := NewTriplet(3, 17, 5) // 3, 8, 13
+	if tr.Last() != 13 {
+		t.Errorf("Last = %d, want 13", tr.Last())
+	}
+	if tr.At(0) != 3 || tr.At(2) != 13 {
+		t.Errorf("At wrong: %d %d", tr.At(0), tr.At(2))
+	}
+}
+
+func TestTripletNormalizeEqual(t *testing.T) {
+	a := NewTriplet(1, 10, 3)
+	b := NewTriplet(1, 12, 3) // same elements 1,4,7,10
+	if !a.Equal(b) {
+		t.Errorf("%v should equal %v", a, b)
+	}
+	if a.Equal(NewTriplet(1, 13, 3)) {
+		t.Error("distinct progressions compared equal")
+	}
+	// Single-element triplets with different steps are equal.
+	if !NewTriplet(5, 5, 1).Equal(NewTriplet(5, 5, 7)) {
+		t.Error("singletons should be equal regardless of step")
+	}
+}
+
+func TestTripletSplitAtIndex(t *testing.T) {
+	tr := NewTriplet(1, 20, 2) // 10 elements
+	before, after := tr.SplitAtIndex(4)
+	if before.Count() != 4 || after.Count() != 6 {
+		t.Fatalf("split 4: %v | %v", before, after)
+	}
+	if before.Last() != 7 || after.Lo != 9 {
+		t.Errorf("split boundary wrong: %v | %v", before, after)
+	}
+	b0, a0 := tr.SplitAtIndex(0)
+	if !b0.Empty() || a0.Count() != 10 {
+		t.Errorf("split 0 wrong: %v | %v", b0, a0)
+	}
+	bn, an := tr.SplitAtIndex(10)
+	if bn.Count() != 10 || !an.Empty() {
+		t.Errorf("split n wrong: %v | %v", bn, an)
+	}
+}
+
+func TestTripletPartition(t *testing.T) {
+	tr := NewTriplet(1, 100, 1)
+	parts := tr.Partition(3)
+	if len(parts) != 3 {
+		t.Fatalf("got %d parts", len(parts))
+	}
+	var total int64
+	for _, p := range parts {
+		total += p.Count()
+	}
+	if total != 100 {
+		t.Errorf("partition loses elements: %d", total)
+	}
+	// Sizes differ by at most 1.
+	for _, p := range parts {
+		if c := p.Count(); c < 33 || c > 34 {
+			t.Errorf("unbalanced part %v (%d)", p, c)
+		}
+	}
+	// More parts than elements.
+	small := NewTriplet(1, 2, 1)
+	if got := len(small.Partition(5)); got != 2 {
+		t.Errorf("Partition(5) of 2 elements gave %d parts", got)
+	}
+}
+
+// Property: Partition preserves the exact element sequence.
+func TestTripletPartitionProperty(t *testing.T) {
+	f := func(lo int16, n uint8, step int8, m uint8) bool {
+		if step == 0 {
+			step = 1
+		}
+		cnt := int64(n%50) + 1
+		tr := Triplet{Lo: int64(lo), Hi: int64(lo) + (cnt-1)*int64(step), Step: int64(step)}
+		parts := tr.Partition(int(m%7) + 1)
+		var got []int64
+		for _, p := range parts {
+			got = append(got, p.Values()...)
+		}
+		return reflect.DeepEqual(got, tr.Values())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SplitAtIndex concatenation preserves the sequence.
+func TestTripletSplitProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		lo := int64(rng.Intn(40) - 20)
+		step := int64(rng.Intn(9) - 4)
+		if step == 0 {
+			step = 1
+		}
+		cnt := int64(rng.Intn(30) + 1)
+		tr := Triplet{Lo: lo, Hi: lo + (cnt-1)*step, Step: step}
+		k := int64(rng.Intn(int(cnt) + 1))
+		before, after := tr.SplitAtIndex(k)
+		got := append(before.Values(), after.Values()...)
+		if !reflect.DeepEqual(got, tr.Values()) {
+			t.Fatalf("split %v at %d: %v + %v != %v", tr, k, before, after, tr.Values())
+		}
+	}
+}
+
+func TestSpaceBasics(t *testing.T) {
+	s := NewSpace(NewTriplet(1, 3, 1), NewTriplet(0, 4, 2))
+	if s.Rank() != 2 || s.Size() != 9 {
+		t.Fatalf("rank=%d size=%d", s.Rank(), s.Size())
+	}
+	var seen [][]int64
+	s.Each(func(iv []int64) bool {
+		cp := append([]int64{}, iv...)
+		seen = append(seen, cp)
+		return true
+	})
+	if len(seen) != 9 {
+		t.Fatalf("Each visited %d", len(seen))
+	}
+	if !reflect.DeepEqual(seen[0], []int64{1, 0}) || !reflect.DeepEqual(seen[8], []int64{3, 4}) {
+		t.Errorf("order wrong: first %v last %v", seen[0], seen[8])
+	}
+}
+
+func TestSpaceScalar(t *testing.T) {
+	s := Scalar()
+	if s.Size() != 1 {
+		t.Errorf("scalar size = %d", s.Size())
+	}
+	count := 0
+	s.Each(func(iv []int64) bool {
+		if len(iv) != 0 {
+			t.Errorf("scalar iteration vector %v", iv)
+		}
+		count++
+		return true
+	})
+	if count != 1 {
+		t.Errorf("scalar Each ran %d times", count)
+	}
+}
+
+func TestSubSpaces(t *testing.T) {
+	s := NewSpace(NewTriplet(1, 9, 1), NewTriplet(1, 9, 1))
+	subs := s.SubSpaces(3)
+	if len(subs) != 9 {
+		t.Fatalf("3-way split of depth-2 nest: %d subspaces, want 9 (3^k)", len(subs))
+	}
+	var total int64
+	for _, sub := range subs {
+		total += sub.Size()
+	}
+	if total != 81 {
+		t.Errorf("subspaces cover %d points, want 81", total)
+	}
+}
+
+func TestSpaceEachEarlyStop(t *testing.T) {
+	s := NewSpace(NewTriplet(1, 100, 1))
+	n := 0
+	s.Each(func(iv []int64) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestTripletPartitionAt(t *testing.T) {
+	tr := NewTriplet(1, 10, 1)
+	parts := tr.PartitionAt(4, 8)
+	if len(parts) != 3 {
+		t.Fatalf("parts = %v", parts)
+	}
+	if parts[0].Count() != 3 || parts[1].Count() != 4 || parts[2].Count() != 3 {
+		t.Errorf("part sizes wrong: %v", parts)
+	}
+}

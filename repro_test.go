@@ -1,0 +1,100 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/align"
+)
+
+// Integration tests of the public API: source text in, alignments and
+// costs out.
+
+func TestAlignSourceFig1(t *testing.T) {
+	res, err := AlignSource(`
+real A(100,100), V(200)
+do k = 1, 100
+  A(k,1:100) = A(k,1:100) + V(k:k+99)
+enddo
+`, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost.Total() != 0 {
+		t.Errorf("Figure 1 cost = %d, want 0", res.Cost.Total())
+	}
+	rep := res.Report()
+	for _, frag := range []string{"ADG:", "exact cost:", "alignments:"} {
+		if !strings.Contains(rep, frag) {
+			t.Errorf("report missing %q", frag)
+		}
+	}
+}
+
+func TestAlignSourceParseError(t *testing.T) {
+	if _, err := AlignSource("real A(\n", DefaultOptions()); err == nil {
+		t.Error("bad source accepted")
+	}
+	if _, err := AlignSource("real A(10)\nA = B\n", DefaultOptions()); err == nil {
+		t.Error("undeclared array accepted")
+	}
+}
+
+func TestAllStrategiesViaOptions(t *testing.T) {
+	src := `
+real A(20), B(40)
+do k = 1, 8
+  A(5:14) = A(5:14) + B(k:k+9)
+enddo
+`
+	for _, s := range []align.Strategy{align.StrategyFixed, align.StrategySingle,
+		align.StrategyZeroTrack, align.StrategyRecursive, align.StrategyUnroll} {
+		res, err := AlignSource(src, Options{Strategy: s, Subranges: 3})
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if res.Cost.Total() < 0 {
+			t.Errorf("%v: negative cost", s)
+		}
+	}
+}
+
+func TestReplicationEndToEnd(t *testing.T) {
+	src := `
+real T(100), B(100,200)
+do k = 1, 200
+  T = cos(T)
+  B = B + spread(T, 2, 200)
+enddo
+`
+	with, err := AlignSource(src, Options{Replication: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := AlignSource(src, Options{Replication: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 4's shape: with labeling, one broadcast at loop entry (100
+	// elements); without, a broadcast every iteration (100 × 200).
+	if with.Cost.Broadcast >= without.Cost.Broadcast {
+		t.Errorf("broadcast with labeling (%d) not less than without (%d)",
+			with.Cost.Broadcast, without.Cost.Broadcast)
+	}
+	if without.Cost.BroadcastEvents < 200 {
+		t.Errorf("without labeling, broadcast events = %d, want >= 200 (per iteration)",
+			without.Cost.BroadcastEvents)
+	}
+	if with.Cost.BroadcastEvents > 2 {
+		t.Errorf("with labeling, broadcast events = %d, want <= 2 (loop entry)",
+			with.Cost.BroadcastEvents)
+	}
+}
+
+func TestCostReport(t *testing.T) {
+	res, err := AlignSource("real A(10), B(10)\nA = A + B\n", DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res.CostReport(5) // must not panic on a zero-cost program
+}
