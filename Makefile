@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build test tier1 race bench fmt vet benchreport
+
+all: tier1
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# tier1 is the gate every change must keep green: formatting, vet,
+# build, the full test suite, and the race detector over the packages
+# with internal concurrency (the per-axis offset worker pool in align
+# and the arena/warm-start machinery in lp).
+tier1:
+	./scripts/ci.sh
+
+race:
+	$(GO) test -race ./internal/align/... ./internal/lp/... .
+
+bench:
+	$(GO) test -run XXX -bench . -benchtime 1x .
+
+benchreport:
+	$(GO) run ./cmd/benchreport
+
+fmt:
+	gofmt -l .
+
+vet:
+	$(GO) vet ./...

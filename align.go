@@ -21,6 +21,7 @@ package repro
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/adg"
 	"repro/internal/align"
@@ -40,6 +41,10 @@ type Options struct {
 	Replication bool
 	// ReplicationRounds bounds the replication↔offset iteration (§6).
 	ReplicationRounds int
+	// Parallelism bounds the workers solving per-template-axis offset
+	// LPs concurrently; values ≤ 0 mean GOMAXPROCS. The computed
+	// alignment is identical for every setting.
+	Parallelism int
 }
 
 // DefaultOptions returns the paper's recommended configuration:
@@ -80,8 +85,9 @@ func AlignProgram(prog *lang.Program, opts Options) (*Result, error) {
 	}
 	ar, err := align.Align(g, align.Options{
 		Offset: align.OffsetOptions{
-			Strategy: opts.Strategy,
-			M:        opts.Subranges,
+			Strategy:    opts.Strategy,
+			M:           opts.Subranges,
+			Parallelism: opts.Parallelism,
 		},
 		Replication:       opts.Replication,
 		ReplicationRounds: opts.ReplicationRounds,
@@ -108,6 +114,14 @@ func (r *Result) Report() string {
 	fmt.Fprintf(&b, "offset LP: %d vars, %d constraints, %d solves, approx cost %.0f\n",
 		r.Align.Offset.LPVariables, r.Align.Offset.LPConstraints,
 		r.Align.Offset.Solves, r.Align.Offset.Approx)
+	st := r.Align.Offset.Stats
+	fmt.Fprintf(&b, "LP effort: %d cold + %d warm solves, %d pivots, phase1 %s, phase2 %s\n",
+		st.Solves, st.WarmSolves, st.Pivots,
+		st.Phase1.Round(time.Microsecond), st.Phase2.Round(time.Microsecond))
+	t := r.Align.Times
+	fmt.Fprintf(&b, "phase times: axis/stride %s, replication %s, offsets %s\n",
+		t.AxisStride.Round(time.Microsecond), t.Replication.Round(time.Microsecond),
+		t.Offsets.Round(time.Microsecond))
 	fmt.Fprintf(&b, "exact cost: %s\n", r.Cost)
 	b.WriteString("alignments:\n")
 	b.WriteString(r.Align.Assignment.String())

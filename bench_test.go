@@ -2,8 +2,11 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
+	"time"
 
+	"repro/internal/adg"
 	"repro/internal/align"
 	"repro/internal/build"
 	"repro/internal/expr"
@@ -424,5 +427,104 @@ enddo
 	b.ReportMetric(float64(r2), "round2-cost")
 	if r2 > r1 {
 		b.Errorf("iterating replication/offsets worsened the result: %d → %d", r1, r2)
+	}
+}
+
+// rank4Src exercises all four template axes with mobile sections, so the
+// per-axis offset RLPs are symmetric and heavy — the workload for the
+// parallel-axis and warm-start benchmarks.
+const rank4Src = `
+real A(24,24,24,24), B(24,24,24,24), C(24,24,24,24)
+do k = 1, 8
+  A(k:k+8,k:k+8,k:k+8,k:k+8) = A(k:k+8,k:k+8,k:k+8,k:k+8) + B(k+1:k+9,k+1:k+9,k+1:k+9,k+1:k+9)
+  B(k:k+8,k:k+8,k:k+8,k:k+8) = B(k:k+8,k:k+8,k:k+8,k:k+8) * 2
+  C(k:k+8,k:k+8,k:k+8,k:k+8) = C(k:k+8,k:k+8,k:k+8,k:k+8) + A(k+1:k+9,k+1:k+9,k+1:k+9,k+1:k+9)
+enddo
+`
+
+func rank4Graph(b *testing.B) (*adg.Graph, *align.AxisStrideResult) {
+	b.Helper()
+	info, err := lang.Analyze(lang.MustParse(rank4Src))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := build.Build(info)
+	if err != nil {
+		b.Fatal(err)
+	}
+	as, err := align.AxisStride(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, as
+}
+
+// BenchmarkOffsetsParallel — the tentpole fan-out: the four per-axis
+// RLPs solve on a worker pool. Sequential and parallel results are
+// byte-identical (TestParallelismDeterminism); with GOMAXPROCS ≥ 4 the
+// parallel run must be ≥1.5× faster. On fewer cores the speedup is
+// reported but not asserted (a 1-CPU box cannot overlap the axes).
+func BenchmarkOffsetsParallel(b *testing.B) {
+	g, as := rank4Graph(b)
+	procs := runtime.GOMAXPROCS(0)
+	measure := func(par int) time.Duration {
+		opts := align.OffsetOptions{Strategy: align.StrategyFixed, M: 3, Parallelism: par}
+		t0 := time.Now()
+		for i := 0; i < b.N; i++ {
+			if _, err := align.Offsets(g, as, nil, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return time.Since(t0)
+	}
+	seq := measure(1)
+	par := measure(procs)
+	speedup := float64(seq) / float64(par)
+	b.ReportMetric(speedup, "speedup")
+	b.ReportMetric(float64(procs), "gomaxprocs")
+	if procs >= 4 && speedup < 1.5 {
+		b.Errorf("parallel axis solve speedup %.2fx < 1.5x with GOMAXPROCS=%d", speedup, procs)
+	}
+}
+
+// BenchmarkOffsetsWarmStart — the §6 replication rounds: re-solving
+// under a changed replication labeling via the retained basis (phase 2
+// only) versus a cold two-phase solve per round. Warm re-solves must
+// pivot strictly less; allocations drop because the tableau is carved
+// from the per-axis arena.
+func BenchmarkOffsetsWarmStart(b *testing.B) {
+	g, as := rank4Graph(b)
+	opts := align.OffsetOptions{Strategy: align.StrategyFixed, M: 3, Parallelism: 1}
+	repl := align.NoReplication(g)
+	var coldPivots, warmPivots int64
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			off, err := align.Offsets(g, as, repl, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			coldPivots = off.Stats.Pivots
+		}
+		b.ReportMetric(float64(coldPivots), "pivots")
+	})
+	b.Run("warm", func(b *testing.B) {
+		b.ReportAllocs()
+		solver := align.NewOffsetSolver(g, as, opts)
+		if _, err := solver.Solve(repl); err != nil {
+			b.Fatal(err) // pay the cold factorization outside the loop
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			off, err := solver.Solve(repl)
+			if err != nil {
+				b.Fatal(err)
+			}
+			warmPivots = off.Stats.Pivots
+		}
+		b.ReportMetric(float64(warmPivots), "pivots")
+	})
+	if coldPivots > 0 && warmPivots >= coldPivots {
+		b.Errorf("warm re-solve pivots (%d) not below cold solve pivots (%d)", warmPivots, coldPivots)
 	}
 }

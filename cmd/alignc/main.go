@@ -8,7 +8,7 @@
 // Usage:
 //
 //	alignc [-strategy fixed|unroll|search|zerotrack|recursive] [-m N]
-//	       [-norepl] [-static] [-dot] [-sim] [-grid PxQ] file.dp
+//	       [-par N] [-norepl] [-static] [-dot] [-sim] [-grid PxQ] file.dp
 //
 // With no file, the Figure 1 fragment from the paper is compiled.
 package main
@@ -36,6 +36,7 @@ func main() {
 	strategy := flag.String("strategy", "fixed", "mobile offset strategy: fixed, unroll, search, zerotrack, recursive")
 	m := flag.Int("m", 3, "subranges per loop level for fixed partitioning")
 	norepl := flag.Bool("norepl", false, "disable replication labeling")
+	par := flag.Int("par", 0, "axis solver parallelism (0 = GOMAXPROCS, 1 = sequential)")
 	dot := flag.Bool("dot", false, "print the ADG in Graphviz DOT format and exit")
 	sim := flag.Bool("sim", false, "simulate the aligned program on a distributed-memory machine")
 	grid := flag.String("grid", "4x4", "processor grid for -sim, e.g. 8x8")
@@ -53,7 +54,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "alignc: no input file; compiling the paper's Figure 1 fragment")
 	}
 
-	opts := repro.Options{Subranges: *m, Replication: !*norepl}
+	opts := repro.Options{Subranges: *m, Replication: !*norepl, Parallelism: *par}
 	switch *strategy {
 	case "fixed":
 		opts.Strategy = align.StrategyFixed

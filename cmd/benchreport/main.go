@@ -1,4 +1,4 @@
-// Command benchreport runs the experiment suite (the E1–E10 table of
+// Command benchreport runs the experiment suite (the E1–E11 table of
 // DESIGN.md) directly — without the testing harness — and prints the
 // paper-vs-measured comparison rows recorded in EXPERIMENTS.md.
 package main
@@ -6,6 +6,8 @@ package main
 import (
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"repro"
 	"repro/internal/align"
@@ -26,6 +28,7 @@ func main() {
 	e7()
 	e9()
 	e10()
+	e11()
 }
 
 func row(id, metric, paper string, measured any) {
@@ -143,6 +146,55 @@ func e9() {
 		row("E9/§4.4", fmt.Sprintf("LP variables, depth %d", depth),
 			"grows ~3^k per edge", off.LPVariables)
 	}
+}
+
+// e11 measures the performance architecture of this PR: the per-axis
+// worker pool on a 4-axis workload and the warm-started (basis-reuse)
+// replication rounds against cold per-round solves.
+func e11() {
+	src := `
+real A(24,24,24,24), B(24,24,24,24), C(24,24,24,24)
+do k = 1, 8
+  A(k:k+8,k:k+8,k:k+8,k:k+8) = A(k:k+8,k:k+8,k:k+8,k:k+8) + B(k+1:k+9,k+1:k+9,k+1:k+9,k+1:k+9)
+  B(k:k+8,k:k+8,k:k+8,k:k+8) = B(k:k+8,k:k+8,k:k+8,k:k+8) * 2
+  C(k:k+8,k:k+8,k:k+8,k:k+8) = C(k:k+8,k:k+8,k:k+8,k:k+8) + A(k+1:k+9,k+1:k+9,k+1:k+9,k+1:k+9)
+enddo
+`
+	info := lang.MustAnalyze(lang.MustParse(src))
+	g := build.MustBuild(info)
+	as, _ := align.AxisStride(g)
+	procs := runtime.GOMAXPROCS(0)
+	timeOf := func(par int) (time.Duration, *align.OffsetResult) {
+		t0 := time.Now()
+		off, err := align.Offsets(g, as, nil, align.OffsetOptions{Strategy: align.StrategyFixed, M: 3, Parallelism: par})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+		return time.Since(t0), off
+	}
+	seq, offSeq := timeOf(1)
+	par, offPar := timeOf(procs)
+	row("E11/perf", "4-axis solve, sequential", "-", fmt.Sprintf("%v (%d pivots)", seq.Round(time.Millisecond), offSeq.Stats.Pivots))
+	row("E11/perf", fmt.Sprintf("4-axis solve, %d workers", procs),
+		"≥1.5x speedup at ≥4 cores", fmt.Sprintf("%v (%.2fx, GOMAXPROCS=%d)", par.Round(time.Millisecond), float64(seq)/float64(par), procs))
+	if offSeq.Exact != offPar.Exact {
+		row("E11/perf", "parallel == sequential", "identical", "MISMATCH")
+	} else {
+		row("E11/perf", "parallel == sequential", "identical", "identical")
+	}
+	repl := align.NoReplication(g)
+	solver := align.NewOffsetSolver(g, as, align.OffsetOptions{Strategy: align.StrategyFixed, M: 3, Parallelism: 1})
+	t0 := time.Now()
+	cold, _ := solver.Solve(repl)
+	coldT := time.Since(t0)
+	t0 = time.Now()
+	warm, _ := solver.Solve(repl)
+	warmT := time.Since(t0)
+	row("E11/perf", "replication round, cold", "two-phase simplex",
+		fmt.Sprintf("%v (%d pivots)", coldT.Round(time.Microsecond), cold.Stats.Pivots))
+	row("E11/perf", "replication round, warm", "phase 2 only (basis reuse)",
+		fmt.Sprintf("%v (%d pivots, %d warm solves)", warmT.Round(time.Microsecond), warm.Stats.Pivots, warm.Stats.WarmSolves))
 }
 
 func e10() {

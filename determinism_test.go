@@ -1,0 +1,88 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The per-template-axis offset problems solve on a worker pool and merge
+// in axis order, so the pipeline must produce byte-identical alignments
+// for every Parallelism setting. These are the example programs plus a
+// rank-4 workload that actually exercises the multi-axis fan-out.
+var determinismSources = map[string]string{
+	"fig1": `
+real A(100,100), V(200)
+do k = 1, 100
+  A(k,1:100) = A(k,1:100) + V(k:k+99)
+enddo
+`,
+	"stencil": `
+real U(200), F(200)
+do k = 1, 100
+  U(k:k+99) = U(k:k+99) + F(k:k+99)
+  F(k:k+99) = F(k:k+99) * 2
+enddo
+`,
+	"transpose": `
+real B(512,256), C(256,512)
+B = B + transpose(C)
+B = B * 2
+C = transpose(B)
+`,
+	"spreadloop": `
+real T(100), B(100,200)
+do k = 1, 200
+  T = cos(T)
+  B = B + spread(T, 2, 200)
+enddo
+`,
+	"tablelookup": `
+real DATA(4096), TABLE(256), IDX(4096), OUT(4096)
+do k = 1, 8
+  OUT = OUT + TABLE(IDX)
+  DATA = DATA * OUT
+enddo
+`,
+	"rank4": `
+real A(24,24,24,24), B(24,24,24,24), C(24,24,24,24)
+do k = 1, 8
+  A(k:k+8,1:24,1:24,1:24) = A(k:k+8,1:24,1:24,1:24) + B(k+1:k+9,1:24,1:24,1:24)
+  B(k:k+8,1:24,1:24,1:24) = B(k:k+8,1:24,1:24,1:24) * 2
+  C(k:k+8,1:24,1:24,1:24) = C(k:k+8,1:24,1:24,1:24) + A(k+1:k+9,1:24,1:24,1:24)
+enddo
+`,
+}
+
+// TestParallelismDeterminism checks that sequential (Parallelism=1) and
+// parallel (Parallelism=8) pipelines produce byte-identical alignment
+// assignments and equal exact costs, with and without replication
+// labeling (the latter exercises the warm-started §6 re-solves).
+func TestParallelismDeterminism(t *testing.T) {
+	for name, src := range determinismSources {
+		for _, repl := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/repl=%v", name, repl), func(t *testing.T) {
+				opts := DefaultOptions()
+				opts.Replication = repl
+				opts.Parallelism = 1
+				seq, err := AlignSource(src, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts.Parallelism = 8
+				par, err := AlignSource(src, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if s, p := seq.Align.Offset.Exact, par.Align.Offset.Exact; s != p {
+					t.Errorf("exact offset cost differs: sequential %d, parallel %d", s, p)
+				}
+				if s, p := seq.Assignment().String(), par.Assignment().String(); s != p {
+					t.Errorf("assignments differ between Parallelism=1 and 8:\n--- sequential\n%s\n--- parallel\n%s", s, p)
+				}
+				if s, p := seq.Cost.Total(), par.Cost.Total(); s != p {
+					t.Errorf("total cost differs: sequential %d, parallel %d", s, p)
+				}
+			})
+		}
+	}
+}

@@ -189,3 +189,15 @@ func (as *Assignment) String() string {
 	}
 	return b.String()
 }
+
+// MergeOffsetAxis copies template axis t of every port's offset vector
+// from src into dst. The per-axis offset problems are independent (§4),
+// so solvers that work axis-by-axis — possibly concurrently — combine
+// their private results with this in axis order; the merge is pure
+// column assignment, so the combined labeling is identical to a
+// sequential solve.
+func MergeOffsetAxis(dst, src map[int][]expr.Affine, t int) {
+	for pid, offs := range src {
+		dst[pid][t] = offs[t]
+	}
+}

@@ -3,6 +3,9 @@ package align
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/adg"
 	"repro/internal/expr"
@@ -66,6 +69,11 @@ type OffsetOptions struct {
 	// pinned to zero, so offsets are plain integers. Used to reproduce
 	// the paper's static-vs-mobile comparisons.
 	Static bool
+	// Parallelism bounds the worker pool solving per-template-axis RLPs
+	// concurrently (the axes are independent problems, §4). Values ≤ 0
+	// mean GOMAXPROCS. The result is identical for every setting: each
+	// axis solves into its own result and the merge is in axis order.
+	Parallelism int
 }
 
 func (o OffsetOptions) withDefaults() OffsetOptions {
@@ -77,6 +85,9 @@ func (o OffsetOptions) withDefaults() OffsetOptions {
 	}
 	if o.UnrollCap <= 0 {
 		o.UnrollCap = 4096
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
 	}
 	return o
 }
@@ -95,6 +106,10 @@ type OffsetResult struct {
 	LPVariables, LPConstraints int
 	// Solves counts LP solves across all axes and refinement rounds.
 	Solves int
+	// Stats is the accumulated LP solver effort: cold solves,
+	// warm-started solves (basis reuse across §6 replication rounds),
+	// pivots, and wall time per simplex phase.
+	Stats lp.Stats
 }
 
 // coefKey identifies one unknown coefficient: the LIV coefficient (or
@@ -105,12 +120,16 @@ type coefKey struct {
 }
 
 // Offsets solves mobile offset alignment (§4) for every template axis
-// under the given axis/stride labels and replication labeling.
+// under the given axis/stride labels and replication labeling. The axes
+// are independent problems and solve concurrently under
+// OffsetOptions.Parallelism; callers that re-solve under changing
+// replication labelings (the §6 iteration) should hold a NewOffsetSolver
+// instead, which warm-starts each round from the previous basis.
 func Offsets(g *adg.Graph, as *AxisStrideResult, repl *ReplResult, opts OffsetOptions) (*OffsetResult, error) {
-	opts = opts.withDefaults()
-	if repl == nil {
-		repl = NoReplication(g)
-	}
+	return newOffsetSolver(g, as, opts, false).Solve(repl)
+}
+
+func newOffsetResult(g *adg.Graph) *OffsetResult {
 	res := &OffsetResult{Offsets: map[int][]expr.Affine{}}
 	for _, p := range g.Ports {
 		offs := make([]expr.Affine, g.TemplateRank)
@@ -119,14 +138,7 @@ func Offsets(g *adg.Graph, as *AxisStrideResult, repl *ReplResult, opts OffsetOp
 		}
 		res.Offsets[p.ID] = offs
 	}
-	for t := 0; t < g.TemplateRank; t++ {
-		ax := &axisSolver{g: g, as: as, repl: repl, axis: t, opts: opts}
-		if err := ax.solve(res); err != nil {
-			return nil, fmt.Errorf("align: axis %d: %w", t, err)
-		}
-	}
-	res.Exact = ExactOffsetCost(g, repl, res.Offsets)
-	return res, nil
+	return res
 }
 
 type axisSolver struct {
@@ -135,6 +147,30 @@ type axisSolver struct {
 	repl *ReplResult
 	axis int
 	opts OffsetOptions
+
+	arena *lp.Arena // tableau storage reused across this axis's solves
+	stats *lp.Stats // per-axis effort accounting (merged post-join)
+	// warmAll builds the RLP over all edges — dead (replicated) edges
+	// keep their θ terms at objective cost 0 — so the constraint matrix
+	// is invariant across §6 replication rounds and the basis can be
+	// reused; thetas records each edge's θ variables for the per-round
+	// cost rebuild.
+	warmAll bool
+	thetas  map[int][]lp.VarID
+}
+
+// newTheta adds one θ variable for edge e, at cost 0 when the edge is
+// currently dead under warmAll (the cost is rebuilt every round).
+func (ax *axisSolver) newTheta(prob *lp.Problem, e *adg.Edge) lp.VarID {
+	cost := 1.0
+	if ax.warmAll && !ax.liveEdge(e) {
+		cost = 0
+	}
+	th := prob.AddVariable(fmt.Sprintf("theta[e%d]", e.ID), cost, false)
+	if ax.thetas != nil {
+		ax.thetas[e.ID] = append(ax.thetas[e.ID], th)
+	}
+	return th
 }
 
 // liveEdge reports whether the edge contributes offset cost on this axis:
@@ -184,7 +220,7 @@ func (ax *axisSolver) solve(res *OffsetResult) error {
 func (ax *axisSolver) initialPartitions() map[int][]space.Space {
 	parts := map[int][]space.Space{}
 	for _, e := range ax.g.Edges {
-		if !ax.liveEdge(e) {
+		if !ax.warmAll && !ax.liveEdge(e) {
 			continue
 		}
 		sp := e.Space()
@@ -236,6 +272,14 @@ func (ax *axisSolver) solveRLP(parts map[int][]space.Space, res *OffsetResult) (
 // buildRLP constructs the RLP instance for the current axis.
 func (ax *axisSolver) buildRLP(parts map[int][]space.Space) (*lp.Problem, map[coefKey]lp.VarID) {
 	prob := lp.NewProblem()
+	if ax.arena == nil {
+		ax.arena = lp.NewArena()
+	}
+	prob.SetArena(ax.arena)
+	prob.SetStats(ax.stats)
+	if ax.warmAll {
+		ax.thetas = map[int][]lp.VarID{}
+	}
 	vars := map[coefKey]lp.VarID{}
 	varOf := func(k coefKey) lp.VarID {
 		if v, ok := vars[k]; ok {
@@ -294,9 +338,29 @@ func (ax *axisSolver) buildRLP(parts map[int][]space.Space) (*lp.Problem, map[co
 		prob.AddConstraint(map[lp.VarID]float64{varOf(coefKey{port: pid}): 1}, lp.EQ, 0)
 	}
 
-	// Edge objective: θ per (edge, subrange).
+	// Edge objective: θ per (edge, subrange). The per-subrange moment
+	// sums are independent pure computations — the hot part of RLP
+	// construction — so they precompute on a worker pool; emission stays
+	// in edge order, so the problem is identical for any parallelism.
+	var jobs []termJob
 	for _, e := range ax.g.Edges {
-		if !ax.liveEdge(e) {
+		if !ax.warmAll && !ax.liveEdge(e) {
+			continue
+		}
+		subs, ok := parts[e.ID]
+		if !ok {
+			continue
+		}
+		w := e.Weight()
+		livs := e.Space().LIVs
+		for _, sub := range subs {
+			jobs = append(jobs, termJob{w: w, livs: livs, sub: sub})
+		}
+	}
+	computeMoments(jobs, ax.opts.Parallelism)
+	cursor := 0
+	for _, e := range ax.g.Edges {
+		if !ax.warmAll && !ax.liveEdge(e) {
 			continue
 		}
 		subs, ok := parts[e.ID]
@@ -305,23 +369,62 @@ func (ax *axisSolver) buildRLP(parts map[int][]space.Space) (*lp.Problem, map[co
 			ax.addEdgeTermSymbolic(prob, varOf, e)
 			continue
 		}
-		w := e.Weight()
-		livs := e.Space().LIVs
-		for _, sub := range subs {
-			ax.addEdgeTerm(prob, varOf, e, w, livs, sub)
+		for range subs {
+			j := &jobs[cursor]
+			cursor++
+			ax.addEdgeTerm(prob, varOf, e, j.livs, j.m0, j.mv)
 		}
 	}
 
 	return prob, vars
 }
 
-// addEdgeTerm emits θ ≥ ±Σ_{i∈sub} w(i)·span(i) for one subrange.
-func (ax *axisSolver) addEdgeTerm(prob *lp.Problem, varOf func(coefKey) lp.VarID, e *adg.Edge, w expr.Poly, livs []string, sub space.Space) {
-	m0, mv := moments(w, livs, sub)
+// termJob is one (edge, subrange) moment computation.
+type termJob struct {
+	w    expr.Poly
+	livs []string
+	sub  space.Space
+	m0   int64
+	mv   map[string]int64
+}
+
+// computeMoments fills in the moment sums of every job, fanning out over
+// min(par, len(jobs)) workers when it pays.
+func computeMoments(jobs []termJob, par int) {
+	if par > len(jobs) {
+		par = len(jobs)
+	}
+	if par <= 1 || len(jobs) < 8 {
+		for i := range jobs {
+			jobs[i].m0, jobs[i].mv = moments(jobs[i].w, jobs[i].livs, jobs[i].sub)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				jobs[i].m0, jobs[i].mv = moments(jobs[i].w, jobs[i].livs, jobs[i].sub)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// addEdgeTerm emits θ ≥ ±Σ_{i∈sub} w(i)·span(i) for one subrange, from
+// precomputed moments.
+func (ax *axisSolver) addEdgeTerm(prob *lp.Problem, varOf func(coefKey) lp.VarID, e *adg.Edge, livs []string, m0 int64, mv map[string]int64) {
 	if m0 == 0 && allZero(mv) {
 		return
 	}
-	theta := prob.AddVariable(fmt.Sprintf("theta[e%d]", e.ID), 1, false)
+	theta := ax.newTheta(prob, e)
 	pos := map[lp.VarID]float64{theta: 1}
 	neg := map[lp.VarID]float64{theta: 1}
 	addTerm := func(k coefKey, c float64) {
@@ -356,7 +459,7 @@ func (ax *axisSolver) addEdgeTermSymbolic(prob *lp.Problem, varOf func(coefKey) 
 	if m0 == 0 && allZero(mv) {
 		return
 	}
-	theta := prob.AddVariable(fmt.Sprintf("theta[e%d]", e.ID), 1, false)
+	theta := ax.newTheta(prob, e)
 	pos := map[lp.VarID]float64{theta: 1}
 	neg := map[lp.VarID]float64{theta: 1}
 	addTerm := func(k coefKey, c float64) {
@@ -405,15 +508,26 @@ func allZero(m map[string]int64) bool {
 func (ax *axisSolver) nodeConstraints(prob *lp.Problem, varOf func(coefKey) lp.VarID, n *adg.Node) {
 	t := ax.axis
 	eq := func(a, b *adg.Port, delta expr.Affine) {
-		// π_a = π_b + δ, coefficient-wise over the common space.
-		livs := map[string]bool{"": true}
+		// π_a = π_b + δ, coefficient-wise over the common space. The
+		// coefficient keys are emitted in a fixed order (constant term,
+		// then a's LIVs, then b's extras) so the constraint system — and
+		// with it which of several degenerate optima the simplex selects —
+		// is reproducible across runs.
+		livs := []string{""}
+		seen := map[string]bool{"": true}
 		for _, v := range a.Space.LIVs {
-			livs[v] = true
+			if !seen[v] {
+				seen[v] = true
+				livs = append(livs, v)
+			}
 		}
 		for _, v := range b.Space.LIVs {
-			livs[v] = true
+			if !seen[v] {
+				seen[v] = true
+				livs = append(livs, v)
+			}
 		}
-		for v := range livs {
+		for _, v := range livs {
 			co := map[lp.VarID]float64{}
 			co[varOf(coefKey{port: a.ID, liv: v})] += 1
 			co[varOf(coefKey{port: b.ID, liv: v})] -= 1

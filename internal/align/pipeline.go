@@ -2,6 +2,7 @@ package align
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/adg"
 	"repro/internal/expr"
@@ -21,6 +22,17 @@ type Options struct {
 	ReplicationRounds int
 }
 
+// PhaseTimes is the wall time of each pipeline phase.
+type PhaseTimes struct {
+	// AxisStride covers the §3 discrete-metric phase.
+	AxisStride time.Duration
+	// Offsets covers every offset LP round (§4), including the re-solves
+	// of the §6 replication iteration.
+	Offsets time.Duration
+	// Replication covers the §5 min-cut labeling rounds.
+	Replication time.Duration
+}
+
 // Result is the complete alignment of a program's ADG.
 type Result struct {
 	Graph      *adg.Graph
@@ -29,6 +41,8 @@ type Result struct {
 	Offset     *OffsetResult
 	// Assignment is the consolidated per-port alignment.
 	Assignment *adg.Assignment
+	// Times records per-phase wall time.
+	Times PhaseTimes
 }
 
 // Align runs the full pipeline of the paper on an ADG: axis and (mobile)
@@ -39,25 +53,35 @@ func Align(g *adg.Graph, opts Options) (*Result, error) {
 	if opts.ReplicationRounds <= 0 {
 		opts.ReplicationRounds = 2
 	}
+	var times PhaseTimes
+	t0 := time.Now()
 	as, err := AxisStride(g)
 	if err != nil {
 		return nil, fmt.Errorf("align: axis/stride phase: %w", err)
 	}
+	times.AxisStride = time.Since(t0)
 	repl := NoReplication(g)
 	var off *OffsetResult
 	if opts.Replication {
 		// Round 0 labels without mobility information; subsequent rounds
-		// use the offsets of the previous round.
+		// use the offsets of the previous round. The solver is shared
+		// across rounds so each re-solve warm-starts from the previous
+		// basis (only the per-edge θ costs change between rounds).
+		solver := NewOffsetSolver(g, as, opts.Offset)
 		var mobile MobilePredicate
 		for round := 0; round < opts.ReplicationRounds; round++ {
+			t0 = time.Now()
 			repl, err = Replicate(g, as, mobile)
 			if err != nil {
 				return nil, fmt.Errorf("align: replication phase: %w", err)
 			}
-			off, err = Offsets(g, as, repl, opts.Offset)
+			times.Replication += time.Since(t0)
+			t0 = time.Now()
+			off, err = solver.Solve(repl)
 			if err != nil {
 				return nil, err
 			}
+			times.Offsets += time.Since(t0)
 			prev := off
 			mobile = func(p *adg.Port, t int) bool {
 				return !prev.Offsets[p.ID][t].IsConst()
@@ -67,13 +91,17 @@ func Align(g *adg.Graph, opts Options) (*Result, error) {
 		// Even without replication labeling, spreads force their inputs
 		// replicated (§5.2 constraint 2) — Figure 4's per-iteration
 		// broadcast baseline.
+		t0 = time.Now()
 		repl = ReplicateForced(g, as)
+		times.Replication = time.Since(t0)
+		t0 = time.Now()
 		off, err = Offsets(g, as, repl, opts.Offset)
 		if err != nil {
 			return nil, err
 		}
+		times.Offsets = time.Since(t0)
 	}
-	res := &Result{Graph: g, AxisStride: as, Repl: repl, Offset: off}
+	res := &Result{Graph: g, AxisStride: as, Repl: repl, Offset: off, Times: times}
 	res.Assignment = res.BuildAssignment()
 	return res, nil
 }

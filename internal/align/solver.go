@@ -1,0 +1,178 @@
+package align
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/adg"
+	"repro/internal/lp"
+)
+
+// OffsetSolver solves the per-template-axis offset RLPs, fanning the
+// axes over a bounded worker pool (OffsetOptions.Parallelism) and — when
+// constructed with NewOffsetSolver — warm-starting repeated solves under
+// changing replication labelings from the previous round's basis (§6:
+// only the objective changes between rounds, so the factored basis stays
+// primal feasible and each re-solve runs phase 2 only).
+//
+// Every axis owns a private axisSolver, lp.Arena, lp.Stats, and result,
+// so axes never share mutable state; Solve merges the per-axis results
+// in axis order, which makes the outcome byte-identical for every
+// Parallelism setting.
+type OffsetSolver struct {
+	g    *adg.Graph
+	as   *AxisStrideResult
+	opts OffsetOptions
+	axes []*axisState
+}
+
+// axisState is the retained per-axis solver state across rounds.
+type axisState struct {
+	ax   *axisSolver
+	warm bool // keep the basis and re-solve via WarmSolve
+	prob *lp.Problem
+	vars map[coefKey]lp.VarID
+}
+
+// NewOffsetSolver returns a reusable solver for the graph. Repeated
+// Solve calls with different replication labelings reuse each axis's
+// tableau arena and (for the fixed-partition strategies) the previous
+// basis. The one-shot Offsets function is equivalent to a single Solve.
+func NewOffsetSolver(g *adg.Graph, as *AxisStrideResult, opts OffsetOptions) *OffsetSolver {
+	return newOffsetSolver(g, as, opts, true)
+}
+
+func newOffsetSolver(g *adg.Graph, as *AxisStrideResult, opts OffsetOptions, reuse bool) *OffsetSolver {
+	opts = opts.withDefaults()
+	// Warm starts require the constraint matrix to be round-invariant,
+	// which holds only for strategies with fixed partitions and a single
+	// LP round; the refining strategies re-partition, so they stay cold.
+	warm := reuse &&
+		(opts.Strategy == StrategyFixed || opts.Strategy == StrategyUnroll || opts.Strategy == StrategySingle)
+	s := &OffsetSolver{g: g, as: as, opts: opts}
+	for t := 0; t < g.TemplateRank; t++ {
+		s.axes = append(s.axes, &axisState{
+			ax:   &axisSolver{g: g, as: as, axis: t, opts: opts, warmAll: warm},
+			warm: warm,
+		})
+	}
+	return s
+}
+
+// Solve computes the mobile offsets for every axis under repl (nil means
+// no replication). It is not safe to call concurrently on one solver.
+func (s *OffsetSolver) Solve(repl *ReplResult) (*OffsetResult, error) {
+	if repl == nil {
+		repl = NoReplication(s.g)
+	}
+	n := len(s.axes)
+	perAxis := make([]*OffsetResult, n)
+	errs := make([]error, n)
+	run := func(t int) {
+		st := s.axes[t]
+		st.ax.repl = repl
+		st.ax.stats = &lp.Stats{}
+		r := newOffsetResult(s.g)
+		if err := st.solve(r); err != nil {
+			errs[t] = fmt.Errorf("align: axis %d: %w", t, err)
+			return
+		}
+		r.Stats = *st.ax.stats
+		perAxis[t] = r
+	}
+	if par := min(s.opts.Parallelism, n); par <= 1 {
+		for t := 0; t < n; t++ {
+			run(t)
+		}
+	} else {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, par)
+		for t := 0; t < n; t++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(t int) {
+				defer func() { <-sem; wg.Done() }()
+				run(t)
+			}(t)
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Deterministic merge in axis order.
+	res := newOffsetResult(s.g)
+	for t, r := range perAxis {
+		adg.MergeOffsetAxis(res.Offsets, r.Offsets, t)
+		res.Approx += r.Approx
+		res.Solves += r.Solves
+		if r.LPVariables > res.LPVariables {
+			res.LPVariables = r.LPVariables
+		}
+		if r.LPConstraints > res.LPConstraints {
+			res.LPConstraints = r.LPConstraints
+		}
+		res.Stats.Add(r.Stats)
+	}
+	res.Exact = ExactOffsetCost(s.g, repl, res.Offsets)
+	return res, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// solve runs one round for this axis into res: cold (build + two-phase
+// solve) the first time or for non-warm strategies, warm (θ cost rebuild
+// + phase-2 re-optimization) afterwards.
+func (st *axisState) solve(res *OffsetResult) error {
+	ax := st.ax
+	if !st.warm {
+		return ax.solve(res)
+	}
+	if st.prob == nil {
+		st.prob, st.vars = ax.buildRLP(ax.initialPartitions())
+		st.prob.KeepBasis()
+	} else {
+		// Only the objective changes across rounds: a θ term counts 1
+		// when its edge is live under the current labeling, 0 when the
+		// edge has a replicated endpoint (§5.1).
+		st.prob.SetStats(ax.stats)
+		for eid, ths := range ax.thetas {
+			cost := 0.0
+			if ax.liveEdge(ax.g.Edges[eid]) {
+				cost = 1
+			}
+			for _, th := range ths {
+				st.prob.SetCost(th, cost)
+			}
+		}
+	}
+	if st.prob.NumVariables() > res.LPVariables {
+		res.LPVariables = st.prob.NumVariables()
+	}
+	if st.prob.NumConstraints() > res.LPConstraints {
+		res.LPConstraints = st.prob.NumConstraints()
+	}
+	sol, err := st.prob.WarmSolve()
+	if err != nil {
+		return err
+	}
+	res.Solves++
+	res.Approx += sol.Objective
+	coefs := make(map[coefKey]float64, len(st.vars))
+	for k, v := range st.vars {
+		coefs[k] = sol.Value(v)
+	}
+	ints := roundCoefs(coefs)
+	ax.store(res, ints)
+	if ax.opts.Strategy == StrategySingle {
+		ax.steepestDescent(res, ints)
+	}
+	return nil
+}

@@ -1,0 +1,250 @@
+// Package build constructs the alignment-distribution graph (ADG, §3)
+// from an analyzed source program.
+//
+// The construction is a single forward walk over the statement list that
+// maintains, per array, the *reaching definition*: the output port that
+// carries the array's current value. Uses are recorded lazily against the
+// reaching definition and materialized at the end of the walk — a
+// definition with no uses flows to a Sink, one use becomes a direct edge,
+// and several uses fan out through a Fanout node. Loops insert the three
+// transformer nodes of §3.2 (entry, loop-back, exit) around arrays the
+// body assigns, and an entry transformer only (no loop-back) around
+// arrays the body merely reads, so a read-only array's mobile alignment
+// is not pinned by a spurious loop-carried constraint. Conditionals
+// insert Branch/Merge pairs with control weight ½ per arm (§6).
+package build
+
+import (
+	"fmt"
+
+	"repro/internal/adg"
+	"repro/internal/expr"
+	"repro/internal/lang"
+)
+
+// Build constructs the ADG for an analyzed program.
+func Build(info *lang.Info) (*adg.Graph, error) {
+	b := &builder{
+		info:  info,
+		g:     adg.New(),
+		defs:  map[string]*defTok{},
+		space: adg.ScalarSpace(),
+		ctl:   1,
+	}
+	if err := b.run(); err != nil {
+		return nil, err
+	}
+	return b.g, nil
+}
+
+// MustBuild is Build, panicking on error.
+func MustBuild(info *lang.Info) *adg.Graph {
+	g, err := Build(info)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// defTok is a reaching definition with its pending uses. Connections are
+// deferred so that the def's fan-out degree is known before any edge is
+// created.
+type defTok struct {
+	port *adg.Port
+	name string // array name for Sink/Fanout labels
+	ctl  float64
+	uses []useRec
+}
+
+type useRec struct {
+	port *adg.Port
+	ctl  float64
+}
+
+type builder struct {
+	info  *lang.Info
+	g     *adg.Graph
+	defs  map[string]*defTok // array name → reaching definition
+	all   []*defTok          // every token ever created, creation order
+	space adg.IterSpace
+	livs  []string
+	ctl   float64 // control weight of the current context (½ per arm)
+}
+
+func (b *builder) run() error {
+	prog := b.info.Program
+	assigned := map[string]bool{}
+	collectAssigned(prog.Stmts, assigned)
+	for _, d := range prog.Decls {
+		n := b.g.AddNode(adg.KindSource, d.Name, 0, 1)
+		n.ReadOnly = !assigned[d.Name]
+		b.setPort(n.Out[0], d.Rank(), b.declExtents(d))
+		b.defs[d.Name] = b.newTok(n.Out[0], d.Name)
+	}
+	if err := b.stmts(prog.Stmts); err != nil {
+		return err
+	}
+	b.materializeAll()
+	for _, p := range b.g.Ports {
+		if p.Rank > b.g.TemplateRank {
+			b.g.TemplateRank = p.Rank
+		}
+	}
+	if b.g.TemplateRank == 0 {
+		b.g.TemplateRank = 1
+	}
+	return b.g.Validate()
+}
+
+func (b *builder) declExtents(d *lang.Decl) []expr.Affine {
+	ext := make([]expr.Affine, len(d.Dims))
+	for i, n := range d.Dims {
+		ext[i] = expr.Const(n)
+	}
+	return ext
+}
+
+// collectAssigned records every array name appearing as an assignment
+// target anywhere under stmts (transitively through loops/conditionals).
+func collectAssigned(stmts []lang.Stmt, out map[string]bool) {
+	for _, st := range stmts {
+		switch s := st.(type) {
+		case *lang.Assign:
+			out[s.LHS.Name] = true
+		case *lang.Do:
+			collectAssigned(s.Body, out)
+		case *lang.If:
+			collectAssigned(s.Then, out)
+			collectAssigned(s.Else, out)
+		}
+	}
+}
+
+// collectReferenced records every declared array referenced under stmts.
+func (b *builder) collectReferenced(stmts []lang.Stmt, out map[string]bool) {
+	var walkExpr func(e lang.Expr)
+	walkExpr = func(e lang.Expr) {
+		switch x := e.(type) {
+		case *lang.ArrayRef:
+			if b.info.Decl(x.Name) != nil {
+				out[x.Name] = true
+			}
+			for _, sub := range x.Subs {
+				for _, se := range []lang.Expr{sub.Index, sub.Lo, sub.Hi, sub.Step} {
+					if se != nil {
+						walkExpr(se)
+					}
+				}
+			}
+		case *lang.BinOp:
+			walkExpr(x.L)
+			walkExpr(x.R)
+		case *lang.Call:
+			for _, a := range x.Args {
+				walkExpr(a)
+			}
+		}
+	}
+	var walk func(list []lang.Stmt)
+	walk = func(list []lang.Stmt) {
+		for _, st := range list {
+			switch s := st.(type) {
+			case *lang.Assign:
+				walkExpr(s.LHS)
+				walkExpr(s.RHS)
+			case *lang.Do:
+				walkExpr(s.Lo)
+				walkExpr(s.Hi)
+				if s.Step != nil {
+					walkExpr(s.Step)
+				}
+				walk(s.Body)
+			case *lang.If:
+				walkExpr(s.Cond)
+				walk(s.Then)
+				walk(s.Else)
+			}
+		}
+	}
+	walk(stmts)
+}
+
+func (b *builder) isLIV(name string) bool {
+	for _, v := range b.livs {
+		if v == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (b *builder) affine(e lang.Expr) (expr.Affine, error) {
+	return lang.AffineExpr(e, b.isLIV)
+}
+
+func (b *builder) setPort(p *adg.Port, rank int, ext []expr.Affine) {
+	p.Rank = rank
+	p.Extents = ext
+	p.Space = b.space
+}
+
+// copyAttrs makes dst carry the same object as src.
+func copyAttrs(dst, src *adg.Port) {
+	dst.Rank = src.Rank
+	dst.Extents = src.Extents
+	dst.Space = src.Space
+}
+
+func (b *builder) newTok(p *adg.Port, name string) *defTok {
+	t := &defTok{port: p, name: name, ctl: b.ctl}
+	b.all = append(b.all, t)
+	return t
+}
+
+// use records p as a consumer of tok's value; p's object attributes are
+// copied from the definition.
+func (b *builder) use(tok *defTok, p *adg.Port) {
+	copyAttrs(p, tok.port)
+	tok.uses = append(tok.uses, useRec{port: p, ctl: b.ctl})
+}
+
+func (b *builder) materializeAll() {
+	for _, t := range b.all {
+		switch len(t.uses) {
+		case 0:
+			sink := b.g.AddNode(adg.KindSink, t.name, 1, 0)
+			copyAttrs(sink.In[0], t.port)
+			b.g.Connect(t.port, sink.In[0]).Control = t.ctl
+		case 1:
+			b.g.Connect(t.port, t.uses[0].port).Control = t.uses[0].ctl
+		default:
+			fan := b.g.AddNode(adg.KindFanout, t.name, 1, len(t.uses))
+			copyAttrs(fan.In[0], t.port)
+			b.g.Connect(t.port, fan.In[0]).Control = t.ctl
+			for i, u := range t.uses {
+				copyAttrs(fan.Out[i], t.port)
+				b.g.Connect(fan.Out[i], u.port).Control = u.ctl
+			}
+		}
+	}
+}
+
+func (b *builder) stmts(list []lang.Stmt) error {
+	for _, st := range list {
+		var err error
+		switch s := st.(type) {
+		case *lang.Assign:
+			err = b.assign(s)
+		case *lang.Do:
+			err = b.loop(s)
+		case *lang.If:
+			err = b.cond(s)
+		default:
+			err = fmt.Errorf("build: unknown statement %T", st)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

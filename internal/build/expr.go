@@ -1,0 +1,298 @@
+package build
+
+import (
+	"fmt"
+
+	"repro/internal/adg"
+	"repro/internal/expr"
+	"repro/internal/lang"
+	"repro/internal/space"
+)
+
+// expr builds the data flow for an expression and returns the definition
+// carrying its value, or nil for a purely scalar expression (numbers,
+// induction variables, and arithmetic over them) that moves no array
+// data.
+func (b *builder) expr(e lang.Expr) (*defTok, error) {
+	switch x := e.(type) {
+	case *lang.Num:
+		return nil, nil
+	case *lang.ArrayRef:
+		return b.ref(x)
+	case *lang.BinOp:
+		l, err := b.expr(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.expr(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return b.op(x.Op, l, r)
+	case *lang.Call:
+		return b.call(x)
+	}
+	return nil, fmt.Errorf("build: unknown expression %T", e)
+}
+
+// op creates an elementwise Op node over the array-valued operands, in
+// source order (nil operands are scalars folded into the operation).
+func (b *builder) op(label string, operands ...*defTok) (*defTok, error) {
+	var ins []*defTok
+	for _, v := range operands {
+		if v != nil {
+			ins = append(ins, v)
+		}
+	}
+	if len(ins) == 0 {
+		return nil, nil
+	}
+	n := b.g.AddNode(adg.KindOp, label, len(ins), 1)
+	best := ins[0]
+	for i, v := range ins {
+		b.use(v, n.In[i])
+		if v.port.Rank > best.port.Rank {
+			best = v
+		}
+	}
+	b.setPort(n.Out[0], best.port.Rank, best.port.Extents)
+	return b.newTok(n.Out[0], ""), nil
+}
+
+func (b *builder) ref(x *lang.ArrayRef) (*defTok, error) {
+	if b.isLIV(x.Name) {
+		return nil, nil
+	}
+	d := b.info.Decl(x.Name)
+	if d == nil {
+		return nil, fmt.Errorf("build: reference to undeclared array %q", x.Name)
+	}
+	if len(x.Subs) == 0 {
+		return b.defs[x.Name], nil
+	}
+	spec, outRank, outExt, err := b.sectionSpec(x, d)
+	if err != nil {
+		return nil, err
+	}
+	var idxVecs []string
+	for i, sub := range spec.Subs {
+		if sub.IsVector {
+			idxVecs = append(idxVecs, x.Subs[i].Index.(*lang.ArrayRef).Name)
+		}
+	}
+	if len(idxVecs) == 0 {
+		n := b.g.AddNode(adg.KindSection, x.String(), 1, 1)
+		n.Section = spec
+		b.use(b.defs[x.Name], n.In[0])
+		b.setPort(n.Out[0], outRank, outExt)
+		return b.newTok(n.Out[0], ""), nil
+	}
+	// Vector-valued subscript: a Gather node whose inputs are the index
+	// vector(s) followed by the table being indexed (In[1:] are the
+	// candidates for replication in §5).
+	n := b.g.AddNode(adg.KindGather, x.String(), len(idxVecs)+1, 1)
+	n.Section = spec
+	for i, iv := range idxVecs {
+		b.use(b.defs[iv], n.In[i])
+	}
+	b.use(b.defs[x.Name], n.In[len(idxVecs)])
+	b.setPort(n.Out[0], outRank, outExt)
+	return b.newTok(n.Out[0], ""), nil
+}
+
+func (b *builder) call(x *lang.Call) (*defTok, error) {
+	arg := func(i int) (*defTok, error) { return b.expr(x.Args[i]) }
+	switch x.Name {
+	case "transpose":
+		v, err := arg(0)
+		if err != nil {
+			return nil, err
+		}
+		if v == nil || v.port.Rank != 2 {
+			return nil, fmt.Errorf("build: transpose needs a rank-2 array argument")
+		}
+		n := b.g.AddNode(adg.KindTranspose, "transpose", 1, 1)
+		b.use(v, n.In[0])
+		ext := []expr.Affine{v.port.Extents[1], v.port.Extents[0]}
+		b.setPort(n.Out[0], 2, ext)
+		return b.newTok(n.Out[0], ""), nil
+	case "spread":
+		v, err := arg(0)
+		if err != nil {
+			return nil, err
+		}
+		if v == nil {
+			return nil, fmt.Errorf("build: spread of a scalar expression")
+		}
+		dimNum, ok := x.Args[1].(*lang.Num)
+		if !ok {
+			return nil, fmt.Errorf("build: spread dimension must be a constant")
+		}
+		copies, err := b.affine(x.Args[2])
+		if err != nil {
+			return nil, fmt.Errorf("build: spread copies: %v", err)
+		}
+		dim := int(dimNum.Val)
+		n := b.g.AddNode(adg.KindSpread, "spread", 1, 1)
+		n.SpreadDim = dim
+		n.SpreadCopies = copies
+		b.use(v, n.In[0])
+		ext := make([]expr.Affine, 0, v.port.Rank+1)
+		ext = append(ext, v.port.Extents[:dim-1]...)
+		ext = append(ext, copies)
+		ext = append(ext, v.port.Extents[dim-1:]...)
+		b.setPort(n.Out[0], v.port.Rank+1, ext)
+		return b.newTok(n.Out[0], ""), nil
+	case "sum":
+		v, err := arg(0)
+		if err != nil {
+			return nil, err
+		}
+		if v == nil {
+			return nil, fmt.Errorf("build: sum of a scalar expression")
+		}
+		n := b.g.AddNode(adg.KindReduce, "sum", 1, 1)
+		b.use(v, n.In[0])
+		if len(x.Args) == 2 {
+			dimNum, ok := x.Args[1].(*lang.Num)
+			if !ok {
+				return nil, fmt.Errorf("build: sum dimension must be a constant")
+			}
+			dim := int(dimNum.Val)
+			n.ReduceDim = dim
+			ext := make([]expr.Affine, 0, v.port.Rank-1)
+			ext = append(ext, v.port.Extents[:dim-1]...)
+			ext = append(ext, v.port.Extents[dim:]...)
+			b.setPort(n.Out[0], v.port.Rank-1, ext)
+		} else {
+			n.ReduceDim = 0
+			b.setPort(n.Out[0], 0, nil)
+		}
+		return b.newTok(n.Out[0], ""), nil
+	case "cshift":
+		// The shift amount is scalar; the shift itself is intrinsic
+		// communication, so the node only constrains positions equal.
+		v, err := arg(0)
+		if err != nil {
+			return nil, err
+		}
+		return b.op("cshift", v)
+	case "min", "max":
+		l, err := arg(0)
+		if err != nil {
+			return nil, err
+		}
+		r, err := arg(1)
+		if err != nil {
+			return nil, err
+		}
+		return b.op(x.Name, l, r)
+	default:
+		// Elementwise unary intrinsic (cos, abs, ...).
+		v, err := arg(0)
+		if err != nil {
+			return nil, err
+		}
+		return b.op(x.Name, v)
+	}
+}
+
+// sectionSpec translates a subscripted reference into the ADG section
+// spec plus the section object's rank and extents.
+func (b *builder) sectionSpec(x *lang.ArrayRef, d *lang.Decl) (*adg.SectionSpec, int, []expr.Affine, error) {
+	if len(x.Subs) != d.Rank() {
+		return nil, 0, nil, fmt.Errorf("build: %s subscripts rank-%d array with %d subscripts", x, d.Rank(), len(x.Subs))
+	}
+	spec := &adg.SectionSpec{}
+	var ext []expr.Affine
+	for dim, sub := range x.Subs {
+		if sub.IsRange {
+			lo, hi, step := expr.Const(1), expr.Const(d.Dims[dim]), expr.Const(1)
+			var err error
+			if sub.Lo != nil {
+				if lo, err = b.affine(sub.Lo); err != nil {
+					return nil, 0, nil, fmt.Errorf("build: %s: %v", x, err)
+				}
+			}
+			if sub.Hi != nil {
+				if hi, err = b.affine(sub.Hi); err != nil {
+					return nil, 0, nil, fmt.Errorf("build: %s: %v", x, err)
+				}
+			}
+			if sub.Step != nil {
+				if step, err = b.affine(sub.Step); err != nil {
+					return nil, 0, nil, fmt.Errorf("build: %s: %v", x, err)
+				}
+			}
+			spec.Subs = append(spec.Subs, adg.SubSpec{IsRange: true, Lo: lo, Hi: hi, Step: step})
+			count, err := b.tripCount(lo, hi, step)
+			if err != nil {
+				return nil, 0, nil, fmt.Errorf("build: %s: %v", x, err)
+			}
+			ext = append(ext, count)
+			continue
+		}
+		if vr, ok := sub.Index.(*lang.ArrayRef); ok && !b.isLIV(vr.Name) {
+			vd := b.info.Decl(vr.Name)
+			if vd != nil && vd.Rank() == 1 && len(vr.Subs) == 0 {
+				spec.Subs = append(spec.Subs, adg.SubSpec{IsVector: true})
+				ext = append(ext, expr.Const(vd.Dims[0]))
+				continue
+			}
+		}
+		idx, err := b.affine(sub.Index)
+		if err != nil {
+			return nil, 0, nil, fmt.Errorf("build: %s: %v", x, err)
+		}
+		spec.Subs = append(spec.Subs, adg.SubSpec{Index: idx})
+	}
+	return spec, spec.OutRank(), ext, nil
+}
+
+// tripCount returns (hi-lo)/step + 1 as an affine form. When the count
+// is not affinely derivable (mobile strides like 1:20*k:k), it falls
+// back to evaluating the count at every point of the enclosing iteration
+// space and succeeds if it is the same constant everywhere (§4.3 assumes
+// section sizes independent of the induction variables).
+func (b *builder) tripCount(lo, hi, step expr.Affine) (expr.Affine, error) {
+	diff := hi.Sub(lo)
+	if step.IsConst() {
+		sc := step.ConstPart()
+		if sc <= 0 {
+			return expr.Affine{}, fmt.Errorf("non-positive section step %d", sc)
+		}
+		ok := diff.ConstPart()%sc == 0
+		for _, t := range diff.Terms() {
+			if t.Coef%sc != 0 {
+				ok = false
+			}
+		}
+		if ok {
+			count := expr.Const(diff.ConstPart()/sc + 1)
+			for _, t := range diff.Terms() {
+				count = count.Add(expr.Axpy(t.Coef/sc, t.Var, 0))
+			}
+			return count, nil
+		}
+	}
+	var count int64
+	first := true
+	same := true
+	b.space.Each(func(env map[string]int64) bool {
+		n := space.NewTriplet(lo.Eval(env), hi.Eval(env), step.Eval(env)).Count()
+		if first {
+			count, first = n, false
+		} else if n != count {
+			same = false
+			return false
+		}
+		return true
+	})
+	if first {
+		return expr.Affine{}, fmt.Errorf("empty iteration space for section bounds %s:%s:%s", lo, hi, step)
+	}
+	if !same {
+		return expr.Affine{}, fmt.Errorf("section size %s:%s:%s varies across the iteration space", lo, hi, step)
+	}
+	return expr.Const(count), nil
+}

@@ -1,0 +1,261 @@
+package build
+
+import (
+	"fmt"
+
+	"repro/internal/adg"
+	"repro/internal/expr"
+	"repro/internal/lang"
+)
+
+func (b *builder) assign(st *lang.Assign) error {
+	v, err := b.expr(st.RHS)
+	if err != nil {
+		return err
+	}
+	name := st.LHS.Name
+	d := b.info.Decl(name)
+	if d == nil {
+		return fmt.Errorf("build: assignment to undeclared array %q", name)
+	}
+	if len(st.LHS.Subs) == 0 {
+		v, err = b.fitValue(v, name, d.Rank(), b.declExtents(d))
+		if err != nil {
+			return err
+		}
+		if v.name == "" {
+			v.name = name
+		}
+		b.defs[name] = v
+		return nil
+	}
+	// Section assignment: Update node of §3.1.
+	spec, outRank, secExt, err := b.sectionSpec(st.LHS, d)
+	if err != nil {
+		return err
+	}
+	for _, sub := range spec.Subs {
+		if sub.IsVector {
+			return fmt.Errorf("build: vector-valued subscript on assignment target %s", st.LHS)
+		}
+	}
+	v, err = b.fitValue(v, name, outRank, secExt)
+	if err != nil {
+		return err
+	}
+	n := b.g.AddNode(adg.KindSectionAssign, st.LHS.String(), 2, 1)
+	n.Section = spec
+	b.use(b.defs[name], n.In[0])
+	b.use(v, n.In[1])
+	b.setPort(n.Out[0], d.Rank(), b.declExtents(d))
+	b.defs[name] = b.newTok(n.Out[0], name)
+	return nil
+}
+
+// fitValue adapts an RHS value to the assignment target: a scalar
+// expression with no data flow becomes a fresh writable Source of the
+// target shape, and a lower-rank value (e.g. a full reduction assigned to
+// an array) is promoted through an elementwise Op node.
+func (b *builder) fitValue(v *defTok, name string, rank int, ext []expr.Affine) (*defTok, error) {
+	if v == nil {
+		n := b.g.AddNode(adg.KindSource, name, 0, 1)
+		b.setPort(n.Out[0], rank, ext)
+		return b.newTok(n.Out[0], name), nil
+	}
+	if v.port.Rank == rank {
+		return v, nil
+	}
+	if v.port.Rank > rank {
+		return nil, fmt.Errorf("build: rank %d value assigned to rank-%d target %q", v.port.Rank, rank, name)
+	}
+	n := b.g.AddNode(adg.KindOp, "=", 1, 1)
+	b.use(v, n.In[0])
+	b.setPort(n.Out[0], rank, ext)
+	return b.newTok(n.Out[0], name), nil
+}
+
+func (b *builder) loop(st *lang.Do) error {
+	lo, err := b.affine(st.Lo)
+	if err != nil {
+		return fmt.Errorf("build: loop %s lower bound: %v", st.Var, err)
+	}
+	hi, err := b.affine(st.Hi)
+	if err != nil {
+		return fmt.Errorf("build: loop %s upper bound: %v", st.Var, err)
+	}
+	step := expr.Const(1)
+	if st.Step != nil {
+		if step, err = b.affine(st.Step); err != nil {
+			return fmt.Errorf("build: loop %s step: %v", st.Var, err)
+		}
+	}
+
+	assigned := map[string]bool{}
+	collectAssigned(st.Body, assigned)
+	referenced := map[string]bool{}
+	b.collectReferenced(st.Body, referenced)
+
+	outer := b.space
+	inner := outer.Extend(st.Var, lo, hi, step)
+	spec := adg.XformSpec{LIV: st.Var, Lo: lo, Hi: hi, Step: step}
+
+	// One record per referenced array, in declaration order so the node
+	// numbering (and hence every downstream solve) is deterministic.
+	type loopArray struct {
+		name     string
+		assigned bool
+		outerTok *defTok   // reaching def before the loop (read-only case)
+		merge    *adg.Node // φ-node (assigned case)
+	}
+	var arrays []loopArray
+	for _, d := range b.info.Program.Decls {
+		if !referenced[d.Name] {
+			continue
+		}
+		la := loopArray{name: d.Name, assigned: assigned[d.Name], outerTok: b.defs[d.Name]}
+
+		entrySpec := spec
+		entrySpec.Kind = adg.XformEntry
+		entry := b.g.AddNode(adg.KindXform, d.Name, 1, 1)
+		entry.Xform = &entrySpec
+		b.use(b.defs[d.Name], entry.In[0])
+		cur := b.defs[d.Name].port
+		b.space = inner
+		b.setPort(entry.Out[0], cur.Rank, cur.Extents)
+		b.space = outer
+
+		if la.assigned {
+			m := b.g.AddNode(adg.KindMerge, d.Name, 2, 1)
+			b.space = inner
+			b.setPort(m.In[0], cur.Rank, cur.Extents)
+			b.setPort(m.In[1], cur.Rank, cur.Extents)
+			b.setPort(m.Out[0], cur.Rank, cur.Extents)
+			b.space = outer
+			entryTok := b.newTok(entry.Out[0], d.Name)
+			entryTok.uses = append(entryTok.uses, useRec{port: m.In[0], ctl: b.ctl})
+			la.merge = m
+			b.defs[d.Name] = b.newTok(m.Out[0], d.Name)
+		} else {
+			b.defs[d.Name] = b.newTok(entry.Out[0], d.Name)
+		}
+		arrays = append(arrays, la)
+	}
+
+	b.space = inner
+	b.livs = append(b.livs, st.Var)
+	err = b.stmts(st.Body)
+	b.livs = b.livs[:len(b.livs)-1]
+	if err != nil {
+		return err
+	}
+
+	for _, la := range arrays {
+		if !la.assigned {
+			// Reads attached to the entry transformer; the array's
+			// reaching definition is unchanged by the loop.
+			b.space = outer
+			b.defs[la.name] = la.outerTok
+			continue
+		}
+		final := b.defs[la.name]
+		cur := final.port
+
+		backSpec := spec
+		backSpec.Kind = adg.XformLoopBack
+		back := b.g.AddNode(adg.KindXform, la.name, 1, 1)
+		back.Xform = &backSpec
+		b.use(final, back.In[0])
+		b.setPort(back.Out[0], cur.Rank, cur.Extents)
+		b.g.Connect(back.Out[0], la.merge.In[1]).Control = b.ctl
+
+		exitSpec := spec
+		exitSpec.Kind = adg.XformExit
+		exit := b.g.AddNode(adg.KindXform, la.name, 1, 1)
+		exit.Xform = &exitSpec
+		b.use(final, exit.In[0])
+		b.space = outer
+		b.setPort(exit.Out[0], cur.Rank, cur.Extents)
+		b.space = inner
+		b.defs[la.name] = b.newTok(exit.Out[0], la.name)
+	}
+	b.space = outer
+	return nil
+}
+
+func (b *builder) cond(st *lang.If) error {
+	// A condition referencing arrays consumes their values; the decision
+	// itself leaves the data-parallel world, so sink the result.
+	cv, err := b.expr(st.Cond)
+	if err != nil {
+		return err
+	}
+	if cv != nil {
+		sink := b.g.AddNode(adg.KindSink, "cond", 1, 0)
+		b.use(cv, sink.In[0])
+	}
+
+	assigned := map[string]bool{}
+	collectAssigned(st.Then, assigned)
+	collectAssigned(st.Else, assigned)
+
+	type armArray struct {
+		name                 string
+		branch               *adg.Node
+		thenTok, elseTok     *defTok
+		thenFinal, elseFinal *defTok
+	}
+	var arrays []armArray
+	for _, d := range b.info.Program.Decls {
+		if !assigned[d.Name] {
+			continue
+		}
+		cur := b.defs[d.Name].port
+		br := b.g.AddNode(adg.KindBranch, d.Name, 1, 2)
+		b.use(b.defs[d.Name], br.In[0])
+		b.setPort(br.Out[0], cur.Rank, cur.Extents)
+		b.setPort(br.Out[1], cur.Rank, cur.Extents)
+		arrays = append(arrays, armArray{
+			name:    d.Name,
+			branch:  br,
+			thenTok: b.newTok(br.Out[0], d.Name),
+			elseTok: b.newTok(br.Out[1], d.Name),
+		})
+	}
+
+	outerCtl := b.ctl
+	b.ctl = outerCtl * 0.5
+	for i := range arrays {
+		b.defs[arrays[i].name] = arrays[i].thenTok
+	}
+	if err := b.stmts(st.Then); err != nil {
+		b.ctl = outerCtl
+		return err
+	}
+	for i := range arrays {
+		arrays[i].thenFinal = b.defs[arrays[i].name]
+		b.defs[arrays[i].name] = arrays[i].elseTok
+	}
+	if err := b.stmts(st.Else); err != nil {
+		b.ctl = outerCtl
+		return err
+	}
+	for i := range arrays {
+		arrays[i].elseFinal = b.defs[arrays[i].name]
+	}
+
+	armCtl := b.ctl
+	for i := range arrays {
+		a := &arrays[i]
+		cur := a.branch.Out[0]
+		m := b.g.AddNode(adg.KindMerge, a.name, 2, 1)
+		m.CondMerge = true
+		b.ctl = armCtl
+		b.use(a.thenFinal, m.In[0])
+		b.use(a.elseFinal, m.In[1])
+		b.ctl = outerCtl
+		b.setPort(m.Out[0], cur.Rank, cur.Extents)
+		b.defs[a.name] = b.newTok(m.Out[0], a.name)
+	}
+	b.ctl = outerCtl
+	return nil
+}

@@ -1,0 +1,164 @@
+package lp
+
+import "time"
+
+// Stats accumulates solver effort across Solve/WarmSolve calls on every
+// problem it is attached to (SetStats). It is not safe for concurrent
+// use: give each worker its own Stats and merge with Add.
+type Stats struct {
+	// Solves counts cold two-phase solves (presolve + phase 1 + phase 2).
+	Solves int
+	// WarmSolves counts warm-started re-optimizations that reused the
+	// factored basis of a previous solve (phase 2 only).
+	WarmSolves int
+	// Pivots counts simplex pivots across all solves.
+	Pivots int64
+	// Phase1 and Phase2 are the wall times spent pivoting in the
+	// feasibility and optimality phases.
+	Phase1, Phase2 time.Duration
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.Solves += o.Solves
+	s.WarmSolves += o.WarmSolves
+	s.Pivots += o.Pivots
+	s.Phase1 += o.Phase1
+	s.Phase2 += o.Phase2
+}
+
+// Arena is a scratch allocator for the dense simplex tableau. Solving
+// re-carves row storage from the same block instead of allocating a
+// fresh tableau per solve, which removes the dominant allocation cost
+// when many small RLPs are solved in sequence (per-axis, per-refinement
+// round). An Arena is not safe for concurrent use; a problem that keeps
+// its basis (KeepBasis) stores the retained tableau in its arena, so do
+// not share one arena between problems that keep bases.
+type Arena struct {
+	f  []float64
+	fi int
+	i  []int
+	ii int
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{} }
+
+func (ar *Arena) reset() { ar.fi, ar.ii = 0, 0 }
+
+// floats carves a zeroed []float64 of length n. Growth abandons the old
+// block (outstanding slices stay valid) and doubles, so a steady-state
+// workload allocates nothing.
+func (ar *Arena) floats(n int) []float64 {
+	if ar.fi+n > len(ar.f) {
+		sz := 2 * len(ar.f)
+		if sz < n {
+			sz = n
+		}
+		if sz < 1024 {
+			sz = 1024
+		}
+		ar.f = make([]float64, sz)
+		ar.fi = 0
+	}
+	s := ar.f[ar.fi : ar.fi+n : ar.fi+n]
+	ar.fi += n
+	for j := range s {
+		s[j] = 0
+	}
+	return s
+}
+
+func (ar *Arena) ints(n int) []int {
+	if ar.ii+n > len(ar.i) {
+		sz := 2 * len(ar.i)
+		if sz < n {
+			sz = n
+		}
+		if sz < 256 {
+			sz = 256
+		}
+		ar.i = make([]int, sz)
+		ar.ii = 0
+	}
+	s := ar.i[ar.ii : ar.ii+n : ar.ii+n]
+	ar.ii += n
+	for j := range s {
+		s[j] = 0
+	}
+	return s
+}
+
+// SetArena makes the problem carve its tableau from ar across Solve
+// calls. Passing nil restores per-solve allocation.
+func (p *Problem) SetArena(ar *Arena) { p.arena = ar }
+
+// SetStats attaches an effort accumulator; nil detaches it.
+func (p *Problem) SetStats(s *Stats) { p.stats = s }
+
+// SetCost replaces the objective cost of variable v. Combined with
+// KeepBasis/WarmSolve this re-optimizes an already-factored problem
+// after an objective change without re-running phase 1.
+func (p *Problem) SetCost(v VarID, cost float64) { p.costs[v] = cost }
+
+// KeepBasis makes Solve retain the final tableau and basis so a later
+// WarmSolve (after SetCost changes) re-optimizes with phase 2 only.
+// Keeping a basis bypasses the equality presolve: the retained tableau
+// must correspond to the full problem, or cost updates on presolved-away
+// variables would be lost.
+func (p *Problem) KeepBasis() { p.keep = true }
+
+// warmState is the retained end-of-solve tableau of a KeepBasis problem.
+type warmState struct {
+	cols                    []colref
+	a                       [][]float64
+	b, b2                   []float64
+	basis                   []int
+	artUsed                 []bool
+	nStruct, artIdx, nTotal int
+	nVars, nCons            int // structure fingerprint at solve time
+	cost                    []float64
+}
+
+// WarmSolve re-optimizes from the basis retained by the previous Solve.
+// If no basis is retained, or variables/constraints were added since, it
+// falls back to a full cold Solve. The current basis stays primal
+// feasible under any objective change, so only phase 2 runs.
+func (p *Problem) WarmSolve() (*Solution, error) {
+	ws := p.ws
+	if !p.keep || ws == nil || ws.nVars != len(p.names) || ws.nCons != len(p.cons) {
+		return p.Solve()
+	}
+	if ws.cost == nil {
+		ws.cost = make([]float64, ws.nTotal)
+	}
+	cost := ws.cost
+	for j := range cost {
+		cost[j] = 0
+	}
+	for j := 0; j < ws.nStruct; j++ {
+		cost[j] = p.costs[ws.cols[j].orig] * ws.cols[j].sign
+	}
+	for j := ws.artIdx; j < ws.nTotal; j++ {
+		if ws.artUsed[j] {
+			cost[j] = inf
+		}
+	}
+	t0 := now()
+	_, piv, err := simplex(ws.a, ws.b, ws.b2, ws.basis, cost, ws.artIdx)
+	if p.stats != nil {
+		p.stats.WarmSolves++
+		p.stats.Pivots += piv
+		p.stats.Phase2 += since(t0)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return p.extract(ws.cols, ws.nStruct, ws.basis, ws.b2), nil
+}
+
+// Indirection for time so the hot path reads naturally.
+var (
+	now   = time.Now
+	since = time.Since
+)

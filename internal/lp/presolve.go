@@ -3,6 +3,7 @@ package lp
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // presolveEq eliminates equality constraints by Gauss-Jordan substitution
@@ -66,6 +67,7 @@ func presolveEq(p *Problem) *presolved {
 				elim = append(elim, v)
 			}
 		}
+		sort.Ints(elim)
 		for _, v := range elim {
 			co := row.coefs[v]
 			s := ps.subs[v]
@@ -78,14 +80,21 @@ func presolveEq(p *Problem) *presolved {
 				row.coefs[w] += co * cw
 			}
 		}
-		// Pick the free variable with the largest coefficient as pivot.
+		// Pick the free variable with the largest coefficient as pivot;
+		// ties break toward the smallest variable index so the reduced
+		// problem — and hence which of several degenerate optima the
+		// simplex lands on — is deterministic (map iteration order is
+		// randomized per range statement).
 		piv, pivCo := -1, 0.0
 		rowMax := 0.0
 		for v, co := range row.coefs {
 			if math.Abs(co) > rowMax {
 				rowMax = math.Abs(co)
 			}
-			if p.free[v] && !eliminated[v] && math.Abs(co) > math.Abs(pivCo) {
+			if !p.free[v] || eliminated[v] || co == 0 {
+				continue
+			}
+			if math.Abs(co) > math.Abs(pivCo) || (math.Abs(co) == math.Abs(pivCo) && v < piv) {
 				piv, pivCo = v, co
 			}
 		}
@@ -172,14 +181,20 @@ func presolveEq(p *Problem) *presolved {
 	for _, c := range ineqs {
 		coefs := map[int]float64{}
 		rhs := c.rhs
-		for v, co := range c.coefs {
-			if s, ok := ps.subs[int(v)]; ok {
+		keys := make([]int, 0, len(c.coefs))
+		for v := range c.coefs {
+			keys = append(keys, int(v))
+		}
+		sort.Ints(keys)
+		for _, vi := range keys {
+			co := c.coefs[VarID(vi)]
+			if s, ok := ps.subs[vi]; ok {
 				rhs -= co * s.rhs
 				for w, cw := range s.coefs {
 					coefs[w] += co * cw
 				}
 			} else {
-				coefs[int(v)] += co
+				coefs[vi] += co
 			}
 		}
 		m := map[VarID]float64{}

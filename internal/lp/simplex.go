@@ -47,7 +47,14 @@ type Problem struct {
 	costs []float64
 	free  []bool
 	cons  []constraint
+
+	arena *Arena     // optional scratch storage for the tableau
+	stats *Stats     // optional effort accounting
+	keep  bool       // retain the final tableau for WarmSolve
+	ws    *warmState // retained tableau of the last Solve when keep
 }
+
+var inf = math.Inf(1)
 
 type constraint struct {
 	coefs map[VarID]float64
@@ -113,7 +120,12 @@ const eps = 1e-9
 
 // Solve runs equality presolve followed by the two-phase simplex and
 // returns an optimal solution, or ErrInfeasible / ErrUnbounded.
+// A KeepBasis problem skips the presolve so the retained tableau spans
+// the full variable set.
 func (p *Problem) Solve() (*Solution, error) {
+	if p.keep {
+		return p.solveRaw()
+	}
 	ps := presolveEq(p)
 	if ps.infeasible {
 		return nil, ErrInfeasible
@@ -121,11 +133,20 @@ func (p *Problem) Solve() (*Solution, error) {
 	if len(ps.order) == 0 {
 		return p.solveRaw()
 	}
+	ps.reduced.arena = p.arena
+	ps.reduced.stats = p.stats
 	sol, err := ps.reduced.solveRaw()
 	if err != nil {
 		return nil, err
 	}
 	return ps.recover(p, sol), nil
+}
+
+// colref maps a tableau column back to its problem variable: free
+// variables are split x = x⁺ − x⁻ across two columns.
+type colref struct {
+	orig VarID
+	sign float64
 }
 
 // solveRaw runs the two-phase simplex without presolve.
@@ -134,13 +155,14 @@ func (p *Problem) solveRaw() (*Solution, error) {
 	// nonnegative; constraints become equalities via slack/surplus; rows
 	// are normalized so every RHS is nonnegative; phase 1 minimizes the
 	// sum of artificial variables.
-	type colref struct {
-		orig VarID
-		sign float64
+	ar := p.arena
+	if ar == nil {
+		ar = &Arena{}
 	}
+	ar.reset()
 	var cols []colref
-	colOf := make([]int, len(p.names))    // first column of variable
-	negColOf := make([]int, len(p.names)) // second column for free vars
+	colOf := ar.ints(len(p.names))    // first column of variable
+	negColOf := ar.ints(len(p.names)) // second column for free vars
 	for v := range p.names {
 		colOf[v] = len(cols)
 		cols = append(cols, colref{orig: VarID(v), sign: 1})
@@ -165,13 +187,13 @@ func (p *Problem) solveRaw() (*Solution, error) {
 
 	// Build tableau rows: A | b.
 	a := make([][]float64, m)
-	b := make([]float64, m)
-	basis := make([]int, m)
+	b := ar.floats(m)
+	basis := ar.ints(m)
 	slackIdx := nStruct
 	artIdx := nStruct + nSlack
 	artUsed := make([]bool, nTotal)
 	for i, c := range p.cons {
-		row := make([]float64, nTotal)
+		row := ar.floats(nTotal)
 		for v, coef := range c.coefs {
 			row[colOf[v]] += coef
 			if negColOf[v] >= 0 {
@@ -231,14 +253,14 @@ func (p *Problem) solveRaw() (*Solution, error) {
 	// degenerate cycling (the classic perturbation method). Pivoting
 	// decisions use the perturbed RHS; the reported solution is read
 	// from the unperturbed RHS carried through the same pivots.
-	b2 := make([]float64, m)
+	b2 := ar.floats(m)
 	copy(b2, b)
 	for i := range b {
 		b[i] += 1e-7 * float64(i+1) / float64(m+1)
 	}
 
 	// Phase 1: minimize sum of artificials.
-	phase1Cost := make([]float64, nTotal)
+	phase1Cost := ar.floats(nTotal)
 	anyArt := false
 	for j := artIdx; j < nTotal; j++ {
 		if artUsed[j] {
@@ -246,8 +268,17 @@ func (p *Problem) solveRaw() (*Solution, error) {
 			anyArt = true
 		}
 	}
+	if p.stats != nil {
+		p.stats.Solves++
+	}
 	if anyArt {
-		if _, err := simplex(a, b, b2, basis, phase1Cost, nTotal); err != nil {
+		t0 := now()
+		_, piv, err := simplex(a, b, b2, basis, phase1Cost, nTotal)
+		if p.stats != nil {
+			p.stats.Pivots += piv
+			p.stats.Phase1 += since(t0)
+		}
+		if err != nil {
 			return nil, err
 		}
 		// Judge feasibility on the unperturbed RHS: the perturbed
@@ -280,52 +311,70 @@ func (p *Problem) solveRaw() (*Solution, error) {
 	}
 
 	// Phase 2: original costs, artificials forbidden.
-	cost := make([]float64, nTotal)
+	cost := ar.floats(nTotal)
 	for j := 0; j < nStruct; j++ {
 		cost[j] = p.costs[cols[j].orig] * cols[j].sign
 	}
 	for j := artIdx; j < nTotal; j++ {
 		if artUsed[j] {
-			cost[j] = math.Inf(1) // never re-enter
+			cost[j] = inf // never re-enter
 		}
 	}
-	if _, err := simplex(a, b, b2, basis, cost, artIdx); err != nil {
+	t0 := now()
+	_, piv, err := simplex(a, b, b2, basis, cost, artIdx)
+	if p.stats != nil {
+		p.stats.Pivots += piv
+		p.stats.Phase2 += since(t0)
+	}
+	if err != nil {
 		return nil, err
 	}
 
-	// Extract solution from the unperturbed RHS.
-	xcols := make([]float64, nTotal)
-	for i, bj := range basis {
-		xcols[bj] = b2[i]
+	if p.keep {
+		p.ws = &warmState{
+			cols: cols, a: a, b: b, b2: b2, basis: basis,
+			artUsed: artUsed, nStruct: nStruct, artIdx: artIdx, nTotal: nTotal,
+			nVars: len(p.names), nCons: len(p.cons),
+		}
 	}
+	return p.extract(cols, nStruct, basis, b2), nil
+}
+
+// extract reads the solution of the original variables off the final
+// basis and unperturbed RHS. The returned slices are freshly allocated
+// (never arena storage), so solutions outlive later solves.
+func (p *Problem) extract(cols []colref, nStruct int, basis []int, b2 []float64) *Solution {
 	values := make([]float64, len(p.names))
-	for j := 0; j < nStruct; j++ {
-		values[cols[j].orig] += cols[j].sign * xcols[j]
+	for i, bj := range basis {
+		if bj < nStruct {
+			values[cols[bj].orig] += cols[bj].sign * b2[i]
+		}
 	}
 	obj := 0.0
 	for v, x := range values {
 		obj += p.costs[v] * x
 	}
-	return &Solution{Objective: obj, values: values}, nil
+	return &Solution{Objective: obj, values: values}
 }
 
 // simplex runs the primal simplex on the tableau (a|b) with the given
 // basis, minimizing costᵀx. Only columns < limit may enter the basis.
 // b2 is the unperturbed RHS, carried through the same pivots. It returns
-// the optimal objective value (w.r.t. the perturbed RHS).
-func simplex(a [][]float64, b, b2 []float64, basis []int, cost []float64, limit int) (float64, error) {
+// the optimal objective value (w.r.t. the perturbed RHS) and the number
+// of pivots performed.
+func simplex(a [][]float64, b, b2 []float64, basis []int, cost []float64, limit int) (float64, int64, error) {
 	m := len(a)
 	if m == 0 {
-		return 0, nil
+		return 0, 0, nil
 	}
 	n := len(a[0])
+	var pivots int64
 	// Reduced costs require the basis columns to be identity; maintain by
 	// pivoting, and reprice from scratch periodically to purge the
 	// floating-point drift that incremental updates accumulate.
-	var z []float64
+	z := make([]float64, n)
 	var zb float64
 	reprice := func() {
-		z = make([]float64, n)
 		copy(z, cost[:n])
 		zb = 0
 		for i, bj := range basis {
@@ -365,7 +414,7 @@ func simplex(a [][]float64, b, b2 []float64, basis []int, cost []float64, limit 
 	fresh := true // z was just repriced from scratch
 	for iter := 0; ; iter++ {
 		if iter > 200000 {
-			return 0, errors.New("lp: iteration limit exceeded")
+			return 0, pivots, errors.New("lp: iteration limit exceeded")
 		}
 		if iter%64 == 63 {
 			reprice()
@@ -390,7 +439,7 @@ func simplex(a [][]float64, b, b2 []float64, basis []int, cost []float64, limit 
 				fresh = true
 				continue
 			}
-			return -zb, nil // optimal
+			return -zb, pivots, nil // optimal
 		}
 		// Ratio test. Pivot elements below pivTol are rejected outright:
 		// pivoting on a near-zero element blows the tableau up. Among
@@ -452,13 +501,14 @@ func simplex(a [][]float64, b, b2 []float64, basis []int, cost []float64, limit 
 			if debugLP {
 				fmt.Printf("UNBOUNDED: iter=%d enter=%d z=%g looseEps=%g colmax=%g m=%d n=%d\n", iter, enter, z[enter], looseEps, colmax, m, n)
 			}
-			return 0, ErrUnbounded
+			return 0, pivots, ErrUnbounded
 		}
 		skip[enter] = false
 		if iter%5000 == 0 && debugLP {
 			fmt.Printf("iter=%d enter=%d leave=%d z=%g obj=%g\n", iter, enter, leave, z[enter], -zb)
 		}
 		pivot(a, b, b2, basis, leave, enter)
+		pivots++
 		fresh = false
 		// Update cost row.
 		c := z[enter]

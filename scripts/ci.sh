@@ -1,0 +1,29 @@
+#!/bin/sh
+# Tier-1 gate: formatting, static checks, build, tests, and the race
+# detector over the concurrent packages. Run from the repository root
+# (or via `make tier1`). Exits nonzero on the first failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+badfmt=$(gofmt -l .)
+if [ -n "$badfmt" ]; then
+    echo "gofmt: files need formatting:" >&2
+    echo "$badfmt" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (align, lp, root)"
+go test -race ./internal/align/... ./internal/lp/... .
+
+echo "tier1: OK"
