@@ -11,9 +11,10 @@ test:
 	$(GO) test ./...
 
 # tier1 is the gate every change must keep green: formatting, vet,
-# build, the full test suite, and the race detector over the packages
-# with internal concurrency (the per-axis offset worker pool in align
-# and the arena/warm-start machinery in lp).
+# build, the full test suite, the race detector over the packages with
+# internal concurrency (the offset worker pool and DP multi-start in
+# align, the arena/warm-start machinery in lp), and a 1x bench smoke so
+# benchmark code (and its gated speedup assertions) cannot bit-rot.
 tier1:
 	./scripts/ci.sh
 

@@ -42,10 +42,28 @@ type Options struct {
 	// ReplicationRounds bounds the replication↔offset iteration (§6).
 	ReplicationRounds int
 	// Parallelism bounds the workers solving per-template-axis offset
-	// LPs concurrently; values ≤ 0 mean GOMAXPROCS. The computed
+	// LPs concurrently, and the workers running the axis/stride DP's
+	// multi-start optimization; values ≤ 0 mean GOMAXPROCS. The computed
 	// alignment is identical for every setting.
 	Parallelism int
+	// Restarts is the number of perturbed restarts of the axis/stride DP
+	// beyond the two canonical seeds (0 means the default of 2; negative
+	// disables restarts).
+	Restarts int
+	// Cache, when non-nil, memoizes pipeline results content-addressed by
+	// the ADG and the result-affecting options: re-aligning an unchanged
+	// program skips every solver. Share one cache across AlignSource /
+	// AlignProgram calls; see NewCache.
+	Cache *Cache
 }
+
+// Cache is a bounded content-addressed memo of pipeline results; see
+// Options.Cache.
+type Cache = align.Cache
+
+// NewCache returns a pipeline result cache holding at most capacity
+// entries (a default capacity if capacity <= 0).
+func NewCache(capacity int) *Cache { return align.NewCache(capacity) }
 
 // DefaultOptions returns the paper's recommended configuration:
 // fixed partitioning with m = 3 and replication labeling enabled.
@@ -84,6 +102,10 @@ func AlignProgram(prog *lang.Program, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("build ADG: %w", err)
 	}
 	ar, err := align.Align(g, align.Options{
+		AxisStride: align.AxisStrideOptions{
+			Parallelism: opts.Parallelism,
+			Restarts:    opts.Restarts,
+		},
 		Offset: align.OffsetOptions{
 			Strategy:    opts.Strategy,
 			M:           opts.Subranges,
@@ -91,6 +113,7 @@ func AlignProgram(prog *lang.Program, opts Options) (*Result, error) {
 		},
 		Replication:       opts.Replication,
 		ReplicationRounds: opts.ReplicationRounds,
+		Cache:             opts.Cache,
 	})
 	if err != nil {
 		return nil, err
@@ -110,6 +133,12 @@ func (r *Result) Report() string {
 	fmt.Fprintf(&b, "ADG: %s\n", r.Graph.Stats())
 	fmt.Fprintf(&b, "axis/stride discrete cost: %d (%d general edges)\n",
 		r.Align.AxisStride.Cost, len(r.Align.AxisStride.GeneralEdges))
+	dp := r.Align.AxisStride.Stats
+	fmt.Fprintf(&b, "DP effort: %d starts, %d labels, %d configs, %d sweeps, %d moves, %d evals, %d expansions\n",
+		dp.Starts, dp.Labels, dp.Configs, dp.Sweeps, dp.Moves, dp.Evals, dp.ExpansionAccepts)
+	if r.Align.CacheHit {
+		b.WriteString("pipeline cache: hit (solvers skipped)\n")
+	}
 	fmt.Fprintf(&b, "replication broadcast volume: %d\n", r.Align.Repl.Broadcast)
 	fmt.Fprintf(&b, "offset LP: %d vars, %d constraints, %d solves, approx cost %.0f\n",
 		r.Align.Offset.LPVariables, r.Align.Offset.LPConstraints,

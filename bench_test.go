@@ -3,6 +3,7 @@ package repro
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -526,5 +527,163 @@ func BenchmarkOffsetsWarmStart(b *testing.B) {
 	})
 	if coldPivots > 0 && warmPivots >= coldPivots {
 		b.Errorf("warm re-solve pivots (%d) not below cold solve pivots (%d)", warmPivots, coldPivots)
+	}
+}
+
+// axisHeavySrc is the rank-4 workload for the §3 compact DP itself:
+// strided rank-4 sections, a transpose pair, and index sections give the
+// solver a nontrivial candidate-label space (many distinct axis/stride
+// labels, >100 node configurations) where the pre-PR solver's string
+// keys and full-sweep re-evaluation dominate.
+const axisHeavySrc = `
+real A(64,64,64,64), B(128,128,128,128), C(64,64), D(64,64), V(64)
+do k = 1, 16
+  A(1:64,1:64,1:64,1:64) = A(1:64,1:64,1:64,1:64) + B(2:128:2,2:128:2,2:128:2,2:128:2)
+  C = C + transpose(D)
+  D = transpose(C)
+  V = V + A(1:64,k,k,k)
+  C(1:64,k) = V
+enddo
+`
+
+func buildGraph(b *testing.B, src string) *adg.Graph {
+	b.Helper()
+	info, err := lang.Analyze(lang.MustParse(src))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := build.Build(info)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// minTime returns the fastest of tries timings of f over reps
+// iterations, so the gated speedup ratios below stay stable even at
+// -benchtime=1x (the CI bench-smoke setting).
+func minTime(b *testing.B, tries, reps int, f func() error) time.Duration {
+	b.Helper()
+	best := time.Duration(-1)
+	for t := 0; t < tries; t++ {
+		t0 := time.Now()
+		for r := 0; r < reps; r++ {
+			if err := f(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if d := time.Since(t0); best < 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// BenchmarkAxisStride — the interned-label incremental DP against the
+// retained pre-PR string-keyed solver (AxisStrideLegacy) on the DP-heavy
+// rank-4 workload and the examples/ programs. ns/op times the production
+// solver; the speedup metric is gated ≥ 3× on the rank-4 workload (both
+// solvers share candidate generation, so the ratio isolates config
+// enumeration + optimization). Byte-identical output across parallelism
+// levels is asserted by TestAxisStrideDeterminism.
+func BenchmarkAxisStride(b *testing.B) {
+	workloads := []struct{ name, src string }{
+		{"rank4", axisHeavySrc},
+		{"stencil", determinismSources["stencil"]},
+		{"transpose", determinismSources["transpose"]},
+		{"spreadloop", determinismSources["spreadloop"]},
+		{"tablelookup", determinismSources["tablelookup"]},
+	}
+	for _, w := range workloads {
+		b.Run(w.name, func(b *testing.B) {
+			g := buildGraph(b, w.src)
+			legacy := minTime(b, 3, 8, func() error {
+				_, err := align.AxisStrideLegacy(g)
+				return err
+			})
+			var stats align.DPStats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				as, err := align.AxisStride(g)
+				if err != nil {
+					b.Fatal(err)
+				}
+				stats = as.Stats
+			}
+			b.StopTimer()
+			interned := minTime(b, 3, 8, func() error {
+				_, err := align.AxisStride(g)
+				return err
+			})
+			speedup := float64(legacy) / float64(interned)
+			b.ReportMetric(speedup, "speedup-vs-legacy")
+			b.ReportMetric(float64(stats.Labels), "labels")
+			b.ReportMetric(float64(stats.Configs), "configs")
+			b.ReportMetric(float64(stats.Sweeps), "sweeps")
+			if w.name == "rank4" && speedup < 3 {
+				b.Errorf("interned DP speedup %.2fx < 3x over string-keyed solver on rank-4 workload (legacy %v, interned %v)",
+					speedup, legacy, interned)
+			}
+		})
+	}
+}
+
+// BenchmarkAlignCached — the content-addressed pipeline cache: aligning
+// an unchanged program again is O(hash + rehydrate). ns/op times the
+// cache-hit path; the cold path re-solves into a fresh cache each
+// iteration. The hit must be ≥ 10× faster than the cold solve, and the
+// driver-level report must record it.
+func BenchmarkAlignCached(b *testing.B) {
+	g := buildGraph(b, axisHeavySrc)
+	popts := align.Options{
+		Offset:      align.OffsetOptions{Strategy: align.StrategyFixed, M: 3},
+		Replication: true,
+	}
+	cold := minTime(b, 3, 4, func() error {
+		o := popts
+		o.Cache = align.NewCache(0)
+		_, err := align.Align(g, o)
+		return err
+	})
+	popts.Cache = align.NewCache(0)
+	if _, err := align.Align(g, popts); err != nil {
+		b.Fatal(err) // pay the one cold solve outside the loop
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := align.Align(g, popts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.CacheHit {
+			b.Fatal("re-alignment of unchanged program missed the cache")
+		}
+	}
+	b.StopTimer()
+	warm := minTime(b, 3, 4, func() error {
+		_, err := align.Align(g, popts)
+		return err
+	})
+	speedup := float64(cold) / float64(warm)
+	b.ReportMetric(speedup, "cached-speedup")
+	hits, misses := popts.Cache.Counters()
+	b.ReportMetric(float64(hits), "cache-hits")
+	b.ReportMetric(float64(misses), "cache-misses")
+	if speedup < 10 {
+		b.Errorf("cached re-alignment speedup %.1fx < 10x (cold %v, cached %v)", speedup, cold, warm)
+	}
+
+	// The driver-level report records the hit.
+	ropts := DefaultOptions()
+	ropts.Cache = NewCache(0)
+	if _, err := AlignSource(axisHeavySrc, ropts); err != nil {
+		b.Fatal(err)
+	}
+	res, err := AlignSource(axisHeavySrc, ropts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !strings.Contains(res.Report(), "pipeline cache: hit") {
+		b.Errorf("cached result's Report() does not record the cache hit:\n%s", res.Report())
 	}
 }

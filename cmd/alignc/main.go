@@ -8,7 +8,7 @@
 // Usage:
 //
 //	alignc [-strategy fixed|unroll|search|zerotrack|recursive] [-m N]
-//	       [-par N] [-norepl] [-static] [-dot] [-sim] [-grid PxQ] file.dp
+//	       [-par N] [-cache] [-norepl] [-static] [-dot] [-sim] [-grid PxQ] file.dp
 //
 // With no file, the Figure 1 fragment from the paper is compiled.
 package main
@@ -19,6 +19,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro"
 	"repro/internal/align"
@@ -36,7 +37,8 @@ func main() {
 	strategy := flag.String("strategy", "fixed", "mobile offset strategy: fixed, unroll, search, zerotrack, recursive")
 	m := flag.Int("m", 3, "subranges per loop level for fixed partitioning")
 	norepl := flag.Bool("norepl", false, "disable replication labeling")
-	par := flag.Int("par", 0, "axis solver parallelism (0 = GOMAXPROCS, 1 = sequential)")
+	par := flag.Int("par", 0, "solver parallelism: offset-LP axes and DP multi-starts (0 = GOMAXPROCS, 1 = sequential)")
+	useCache := flag.Bool("cache", false, "enable the pipeline result cache and re-align once to demonstrate a hit")
 	dot := flag.Bool("dot", false, "print the ADG in Graphviz DOT format and exit")
 	sim := flag.Bool("sim", false, "simulate the aligned program on a distributed-memory machine")
 	grid := flag.String("grid", "4x4", "processor grid for -sim, e.g. 8x8")
@@ -70,9 +72,24 @@ func main() {
 		fatal(fmt.Errorf("unknown strategy %q", *strategy))
 	}
 
+	if *useCache {
+		opts.Cache = repro.NewCache(0)
+	}
 	res, err := repro.AlignSource(src, opts)
 	if err != nil {
 		fatal(err)
+	}
+	if *useCache {
+		// Compile the unchanged program again: the pipeline is served from
+		// the cache, which the report of the second result records.
+		t0 := time.Now()
+		res, err = repro.AlignSource(src, opts)
+		if err != nil {
+			fatal(err)
+		}
+		hits, misses := opts.Cache.Counters()
+		fmt.Fprintf(os.Stderr, "alignc: cached re-alignment in %s (%d hits / %d misses)\n",
+			time.Since(t0).Round(time.Microsecond), hits, misses)
 	}
 	if *dot {
 		fmt.Print(res.Graph.Dot())

@@ -1,9 +1,14 @@
-// Command benchreport runs the experiment suite (the E1–E11 table of
+// Command benchreport runs the experiment suite (the E1–E12 table of
 // DESIGN.md) directly — without the testing harness — and prints the
-// paper-vs-measured comparison rows recorded in EXPERIMENTS.md.
+// paper-vs-measured comparison rows recorded in EXPERIMENTS.md. Alongside
+// the text report it writes a machine-readable perf snapshot (phase
+// times, DP effort, LP effort, cache hit rate) to BENCH_align.json
+// (override the path with -json, disable with -json "").
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"runtime"
@@ -19,6 +24,8 @@ import (
 )
 
 func main() {
+	jsonPath := flag.String("json", "BENCH_align.json", "path for the machine-readable perf snapshot (empty disables)")
+	flag.Parse()
 	fmt.Println("experiment  metric                          paper shape                     measured")
 	fmt.Println("----------  ------------------------------  ------------------------------  --------")
 	e1()
@@ -29,6 +36,10 @@ func main() {
 	e9()
 	e10()
 	e11()
+	snap := e12()
+	if *jsonPath != "" {
+		writeSnapshot(*jsonPath, snap)
+	}
 }
 
 func row(id, metric, paper string, measured any) {
@@ -195,6 +206,163 @@ enddo
 		fmt.Sprintf("%v (%d pivots)", coldT.Round(time.Microsecond), cold.Stats.Pivots))
 	row("E11/perf", "replication round, warm", "phase 2 only (basis reuse)",
 		fmt.Sprintf("%v (%d pivots, %d warm solves)", warmT.Round(time.Microsecond), warm.Stats.Pivots, warm.Stats.WarmSolves))
+}
+
+// Snapshot is the machine-readable record benchreport writes alongside
+// the text report, so the perf trajectory (phase times, DP and LP effort,
+// cache behavior) is tracked from PR 2 onward.
+type Snapshot struct {
+	GeneratedUnix int64              `json:"generated_unix"`
+	GoMaxProcs    int                `json:"gomaxprocs"`
+	Workloads     []WorkloadSnapshot `json:"workloads"`
+	Cache         CacheSnapshot      `json:"cache"`
+}
+
+// WorkloadSnapshot is one program's pipeline profile.
+type WorkloadSnapshot struct {
+	Name   string        `json:"name"`
+	Phases PhaseSnapshot `json:"phase_times_ns"`
+	DP     DPSnapshot    `json:"dp"`
+	LP     LPSnapshot    `json:"lp"`
+	ColdNs int64         `json:"cold_ns"`
+}
+
+// PhaseSnapshot is the per-phase wall time in nanoseconds.
+type PhaseSnapshot struct {
+	AxisStride  int64 `json:"axis_stride"`
+	Replication int64 `json:"replication"`
+	Offsets     int64 `json:"offsets"`
+}
+
+// DPSnapshot is the §3 compact-DP effort.
+type DPSnapshot struct {
+	Starts           int   `json:"starts"`
+	Labels           int   `json:"labels"`
+	Configs          int   `json:"configs"`
+	Sweeps           int64 `json:"sweeps"`
+	Moves            int64 `json:"moves"`
+	Evals            int64 `json:"evals"`
+	ExpansionAccepts int64 `json:"expansion_accepts"`
+}
+
+// LPSnapshot is the §4 offset-LP effort.
+type LPSnapshot struct {
+	Solves     int   `json:"solves"`
+	WarmSolves int   `json:"warm_solves"`
+	Pivots     int64 `json:"pivots"`
+}
+
+// CacheSnapshot is the pipeline cache behavior of the E12 run.
+type CacheSnapshot struct {
+	Hits     int64   `json:"hits"`
+	Misses   int64   `json:"misses"`
+	HitRate  float64 `json:"hit_rate"`
+	CachedNs int64   `json:"cached_ns"`
+	ColdNs   int64   `json:"cold_ns"`
+	Speedup  float64 `json:"speedup"`
+}
+
+// e12 measures this PR's performance architecture: the interned-label
+// incremental DP against the retained string-keyed solver, and the
+// content-addressed pipeline cache on repeated compiles. It returns the
+// snapshot for BENCH_align.json.
+func e12() Snapshot {
+	snap := Snapshot{GeneratedUnix: time.Now().Unix(), GoMaxProcs: runtime.GOMAXPROCS(0)}
+	dpSrc := `
+real A(64,64,64,64), B(128,128,128,128), C(64,64), D(64,64), V(64)
+do k = 1, 16
+  A(1:64,1:64,1:64,1:64) = A(1:64,1:64,1:64,1:64) + B(2:128:2,2:128:2,2:128:2,2:128:2)
+  C = C + transpose(D)
+  D = transpose(C)
+  V = V + A(1:64,k,k,k)
+  C(1:64,k) = V
+enddo
+`
+	workloads := []struct{ name, src string }{
+		{"fig1", fig1},
+		{"rank4-dp", dpSrc},
+	}
+	cache := repro.NewCache(0)
+	opts := repro.DefaultOptions()
+	opts.Cache = cache
+	var lastCold time.Duration
+	for _, w := range workloads {
+		g := build.MustBuild(lang.MustAnalyze(lang.MustParse(w.src)))
+		legacyT := timeIt(func() {
+			if _, err := align.AxisStrideLegacy(g); err != nil {
+				fail(err)
+			}
+		})
+		internedT := timeIt(func() {
+			if _, err := align.AxisStride(g); err != nil {
+				fail(err)
+			}
+		})
+		var res *repro.Result
+		coldT := timeIt(func() { res = compile(w.src, opts) })
+		lastCold = coldT
+		compile(w.src, opts) // unchanged program: served from the cache
+		t := res.Align.Times
+		dp := res.Align.AxisStride.Stats
+		lp := res.Align.Offset.Stats
+		row("E12/perf", w.name+" DP, string-keyed", "pre-PR baseline", legacyT.Round(time.Microsecond))
+		row("E12/perf", w.name+" DP, interned+incremental", "≥3x on rank-4 workload",
+			fmt.Sprintf("%v (%.1fx)", internedT.Round(time.Microsecond), float64(legacyT)/float64(internedT)))
+		row("E12/perf", w.name+" DP effort", "sweeps touch dirty nodes only",
+			fmt.Sprintf("%d starts %d labels %d configs %d sweeps %d moves", dp.Starts, dp.Labels, dp.Configs, dp.Sweeps, dp.Moves))
+		snap.Workloads = append(snap.Workloads, WorkloadSnapshot{
+			Name: w.name,
+			Phases: PhaseSnapshot{
+				AxisStride:  int64(t.AxisStride),
+				Replication: int64(t.Replication),
+				Offsets:     int64(t.Offsets),
+			},
+			DP: DPSnapshot{
+				Starts: dp.Starts, Labels: dp.Labels, Configs: dp.Configs,
+				Sweeps: dp.Sweeps, Moves: dp.Moves, Evals: dp.Evals,
+				ExpansionAccepts: dp.ExpansionAccepts,
+			},
+			LP:     LPSnapshot{Solves: lp.Solves, WarmSolves: lp.WarmSolves, Pivots: lp.Pivots},
+			ColdNs: int64(coldT),
+		})
+	}
+	cachedT := timeIt(func() { compile(workloads[len(workloads)-1].src, opts) })
+	hits, misses := cache.Counters()
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = float64(hits) / float64(hits+misses)
+	}
+	snap.Cache = CacheSnapshot{
+		Hits: hits, Misses: misses, HitRate: rate,
+		CachedNs: int64(cachedT), ColdNs: int64(lastCold),
+		Speedup: float64(lastCold) / float64(cachedT),
+	}
+	row("E12/perf", "pipeline cache re-compile", "≥10x vs cold solve",
+		fmt.Sprintf("cold %v, cached %v (%.0fx, %d hits/%d misses)",
+			lastCold.Round(time.Microsecond), cachedT.Round(time.Microsecond), snap.Cache.Speedup, hits, misses))
+	return snap
+}
+
+func timeIt(f func()) time.Duration {
+	t0 := time.Now()
+	f()
+	return time.Since(t0)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchreport:", err)
+	os.Exit(1)
+}
+
+func writeSnapshot(path string, snap Snapshot) {
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchreport: wrote %s\n", path)
 }
 
 func e10() {

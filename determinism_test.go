@@ -2,7 +2,12 @@ package repro
 
 import (
 	"fmt"
+	"strings"
 	"testing"
+
+	"repro/internal/align"
+	"repro/internal/build"
+	"repro/internal/lang"
 )
 
 // The per-template-axis offset problems solve on a worker pool and merge
@@ -82,7 +87,74 @@ func TestParallelismDeterminism(t *testing.T) {
 				if s, p := seq.Cost.Total(), par.Cost.Total(); s != p {
 					t.Errorf("total cost differs: sequential %d, parallel %d", s, p)
 				}
+				if s, p := normalizeReport(seq.Report()), normalizeReport(par.Report()); s != p {
+					t.Errorf("reports differ between Parallelism=1 and 8 (wall-time lines excluded):\n--- sequential\n%s\n--- parallel\n%s", s, p)
+				}
 			})
 		}
+	}
+}
+
+// normalizeReport strips the wall-time content from a Report: the
+// "phase times:" line and the phase1/phase2 durations of the LP effort
+// line. Everything else — alignments, costs, DP and LP effort counters —
+// must be byte-identical across parallelism levels.
+func normalizeReport(s string) string {
+	lines := strings.Split(s, "\n")
+	out := lines[:0]
+	for _, line := range lines {
+		if strings.HasPrefix(line, "phase times:") {
+			continue
+		}
+		if strings.HasPrefix(line, "LP effort:") {
+			if i := strings.Index(line, ", phase1 "); i >= 0 {
+				line = line[:i]
+			}
+		}
+		out = append(out, line)
+	}
+	return strings.Join(out, "\n")
+}
+
+// TestAxisStrideDeterminism pins the §3 phase in isolation: the
+// multi-start DP must choose identical labelings, costs, and effort
+// counters at every Parallelism setting (the worker pool only reorders
+// wall-clock execution of the starts, never the seed-order reduction).
+func TestAxisStrideDeterminism(t *testing.T) {
+	for name, src := range determinismSources {
+		t.Run(name, func(t *testing.T) {
+			info, err := lang.Analyze(lang.MustParse(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := build.Build(info)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq, err := align.AxisStrideOpts(g, align.AxisStrideOptions{Parallelism: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, par := range []int{2, 8} {
+				got, err := align.AxisStrideOpts(g, align.AxisStrideOptions{Parallelism: par})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Cost != seq.Cost {
+					t.Errorf("par=%d: cost %d != sequential cost %d", par, got.Cost, seq.Cost)
+				}
+				if got.Stats != seq.Stats {
+					t.Errorf("par=%d: DP stats %+v != sequential %+v", par, got.Stats, seq.Stats)
+				}
+				if len(got.Labels) != len(seq.Labels) {
+					t.Fatalf("par=%d: %d labels != %d", par, len(got.Labels), len(seq.Labels))
+				}
+				for id, l := range seq.Labels {
+					if !got.Labels[id].Equal(l) {
+						t.Errorf("par=%d: port %d label %s != sequential %s", par, id, got.Labels[id], l)
+					}
+				}
+			}
+		})
 	}
 }

@@ -1,0 +1,363 @@
+package align
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/adg"
+)
+
+// AxisStrideLegacy solves the §3 problem with the pre-interning solver:
+// node configurations are tuples of structural ASLabels deduplicated by
+// string keys, and every best-response sweep re-evaluates the full
+// (node, config) cost table with structural label comparisons. It is
+// retained solely as the measured baseline for BenchmarkAxisStride's
+// speedup gate (and as an oracle: it must find a labeling no better than
+// the production solver's). New code should call AxisStride.
+func AxisStrideLegacy(g *adg.Graph) (*AxisStrideResult, error) {
+	s := &asSolver{g: g, tab: newInternTable(), cands: make([][]int32, len(g.Ports))}
+	if err := s.generateCandidates(); err != nil {
+		return nil, err
+	}
+	ls := &legacySolver{g: g, s: s, wts: map[int]float64{}}
+	for _, e := range g.Edges {
+		ls.wts[e.ID] = e.ExpectedWeight()
+	}
+	ls.cfgs = make([][]legacyConfig, len(g.Nodes))
+	for _, n := range g.Nodes {
+		cfgs := ls.enumConfigs(n)
+		if len(cfgs) == 0 {
+			return nil, fmt.Errorf("align: no feasible axis/stride configuration for node %d (%s %q)", n.ID, n.Kind, n.Label)
+		}
+		ls.cfgs[n.ID] = cfgs
+	}
+	ls.optimize()
+	res := &AxisStrideResult{Labels: map[int]ASLabel{}}
+	for _, n := range g.Nodes {
+		cfg := ls.best[n.ID]
+		for i, p := range n.In {
+			res.Labels[p.ID] = cfg.in[i]
+		}
+		for i, p := range n.Out {
+			res.Labels[p.ID] = cfg.out[i]
+		}
+	}
+	for _, e := range g.Edges {
+		if !res.Labels[e.Src.ID].Equal(res.Labels[e.Dst.ID]) {
+			res.Cost += e.TotalWeight()
+			res.GeneralEdges = append(res.GeneralEdges, e)
+		}
+	}
+	return res, nil
+}
+
+type legacySolver struct {
+	g    *adg.Graph
+	s    *asSolver // candidate sets (shared generation)
+	cfgs [][]legacyConfig
+	best []legacyConfig
+	wts  map[int]float64
+}
+
+type legacyConfig struct {
+	in, out []ASLabel
+}
+
+func (ls *legacySolver) cands(p *adg.Port) []ASLabel { return ls.s.candLabels(p) }
+
+// enumConfigs is the pre-interning enumeration: configurations are
+// deduplicated by a string key rebuilt from every label.
+func (ls *legacySolver) enumConfigs(n *adg.Node) []legacyConfig {
+	var out []legacyConfig
+	seen := map[string]bool{}
+	push := func(cfg legacyConfig, ok bool) {
+		if !ok {
+			return
+		}
+		var b strings.Builder
+		for _, l := range cfg.in {
+			b.WriteString(l.Key() + "|")
+		}
+		for _, l := range cfg.out {
+			b.WriteString(l.Key() + "|")
+		}
+		if !seen[b.String()] {
+			seen[b.String()] = true
+			out = append(out, cfg)
+		}
+	}
+	switch n.Kind {
+	case adg.KindSource, adg.KindSink:
+		p := n.In
+		if len(p) == 0 {
+			p = n.Out
+		}
+		for _, l := range ls.cands(p[0]) {
+			cfg := legacyConfig{}
+			if len(n.In) > 0 {
+				cfg.in = []ASLabel{l}
+			} else {
+				cfg.out = []ASLabel{l}
+			}
+			push(cfg, true)
+		}
+	case adg.KindOp, adg.KindMerge, adg.KindFanout, adg.KindBranch:
+		rank := 0
+		for _, p := range append(append([]*adg.Port{}, n.In...), n.Out...) {
+			if p.Rank > rank {
+				rank = p.Rank
+			}
+		}
+		driver := n.Out[0]
+		for _, l := range ls.cands(driver) {
+			cfg := legacyConfig{}
+			ok := true
+			for _, p := range n.In {
+				if p.Rank == rank {
+					if !compatibleSpaces(l, p) {
+						ok = false
+						break
+					}
+					cfg.in = append(cfg.in, l)
+				} else {
+					cfg.in = append(cfg.in, identityLabel(p.Rank))
+				}
+			}
+			if !ok {
+				continue
+			}
+			for _, p := range n.Out {
+				if p.Rank == rank {
+					cfg.out = append(cfg.out, l)
+				} else {
+					cfg.out = append(cfg.out, identityLabel(p.Rank))
+				}
+			}
+			push(cfg, true)
+		}
+	case adg.KindXform:
+		if n.Xform.Kind == adg.XformExit {
+			for _, l := range ls.cands(n.In[0]) {
+				m, ok := xformOutLabel(l, n.Xform)
+				if ok && compatibleSpaces(m, n.Out[0]) {
+					push(legacyConfig{in: []ASLabel{l}, out: []ASLabel{m}}, true)
+				}
+			}
+			break
+		}
+		for _, l := range ls.cands(n.Out[0]) {
+			m, ok := xformInLabel(l, n.Xform)
+			if ok && compatibleSpaces(m, n.In[0]) {
+				push(legacyConfig{in: []ASLabel{m}, out: []ASLabel{l}}, true)
+			}
+		}
+	case adg.KindTranspose:
+		for _, l := range ls.cands(n.In[0]) {
+			push(legacyConfig{in: []ASLabel{l}, out: []ASLabel{transposeLabel(l)}}, true)
+		}
+	case adg.KindSection:
+		for _, l := range ls.cands(n.In[0]) {
+			m, ok := sectionLabel(l, n.Section)
+			push(legacyConfig{in: []ASLabel{l}, out: []ASLabel{m}}, ok)
+		}
+	case adg.KindSectionAssign:
+		for _, l := range ls.cands(n.In[0]) {
+			m, ok := sectionLabel(l, n.Section)
+			push(legacyConfig{in: []ASLabel{l, m}, out: []ASLabel{l}}, ok)
+		}
+	case adg.KindSpread:
+		for _, l := range ls.cands(n.In[0]) {
+			m, ok := spreadLabel(l, n.SpreadDim, ls.g.TemplateRank)
+			push(legacyConfig{in: []ASLabel{l}, out: []ASLabel{m}}, ok)
+		}
+	case adg.KindReduce:
+		for _, l := range ls.cands(n.In[0]) {
+			if n.ReduceDim == 0 {
+				push(legacyConfig{in: []ASLabel{l}, out: []ASLabel{identityLabel(0)}}, true)
+			} else {
+				push(legacyConfig{in: []ASLabel{l}, out: []ASLabel{reduceLabel(l, n.ReduceDim)}}, true)
+			}
+		}
+	case adg.KindGather:
+		cfg := legacyConfig{}
+		for _, p := range n.In {
+			cfg.in = append(cfg.in, identityLabel(p.Rank))
+		}
+		for _, p := range n.Out {
+			cfg.out = append(cfg.out, identityLabel(p.Rank))
+		}
+		push(cfg, true)
+	}
+	return out
+}
+
+// optimize is the pre-interning full-sweep schedule: two seeds, up to 12
+// rounds of up to 60 sweeps, each sweep re-evaluating every (node,
+// config) pair with structural label comparisons.
+func (ls *legacySolver) optimize() {
+	bestCost := -1.0
+	var bestCfg []legacyConfig
+	for seed := 0; seed < 2; seed++ {
+		cur := make([]legacyConfig, len(ls.g.Nodes))
+		for _, n := range ls.g.Nodes {
+			idx := 0
+			if seed == 1 {
+				idx = len(ls.cfgs[n.ID]) - 1
+			}
+			cur[n.ID] = ls.cfgs[n.ID][idx]
+		}
+		for round := 0; round < 12; round++ {
+			improved := false
+			for sweep := 0; sweep < 60; sweep++ {
+				swept := false
+				order := ls.sweepOrder(sweep)
+				for _, nid := range order {
+					n := ls.g.Nodes[nid]
+					curCost := ls.nodeCost(n, cur[nid], cur)
+					for _, cfg := range ls.cfgs[nid] {
+						c := ls.nodeCost(n, cfg, cur)
+						if c < curCost {
+							cur[nid] = cfg
+							curCost = c
+							swept = true
+						}
+					}
+				}
+				if !swept {
+					break
+				}
+				improved = true
+			}
+			if ls.expansionPass(cur) {
+				improved = true
+			}
+			if !improved {
+				break
+			}
+		}
+		total := ls.totalCost(cur)
+		if bestCost < 0 || total < bestCost {
+			bestCost = total
+			bestCfg = append([]legacyConfig{}, cur...)
+		}
+	}
+	ls.best = bestCfg
+}
+
+func (ls *legacySolver) expansionPass(cur []legacyConfig) bool {
+	improvedAny := false
+	base := ls.totalCost(cur)
+	for _, n := range ls.g.Nodes {
+		for _, cfg := range ls.cfgs[n.ID] {
+			if legacyConfigEqual(cfg, cur[n.ID]) {
+				continue
+			}
+			trial := append([]legacyConfig{}, cur...)
+			trial[n.ID] = cfg
+			visited := make([]bool, len(ls.g.Nodes))
+			visited[n.ID] = true
+			queue := []*adg.Node{n}
+			for len(queue) > 0 {
+				u := queue[0]
+				queue = queue[1:]
+				for _, p := range append(append([]*adg.Port{}, u.In...), u.Out...) {
+					peer := p.Edge.Src
+					if peer.Node == u {
+						peer = p.Edge.Dst
+					}
+					v := peer.Node
+					if visited[v.ID] {
+						continue
+					}
+					want := ls.labelOf(p, trial)
+					if ls.labelOf(peer, trial).Equal(want) {
+						continue
+					}
+					for _, vc := range ls.cfgs[v.ID] {
+						var l ASLabel
+						if peer.Output {
+							l = vc.out[peer.Index]
+						} else {
+							l = vc.in[peer.Index]
+						}
+						if l.Equal(want) {
+							trial[v.ID] = vc
+							visited[v.ID] = true
+							queue = append(queue, v)
+							break
+						}
+					}
+				}
+			}
+			if c := ls.totalCost(trial); c < base {
+				copy(cur, trial)
+				base = c
+				improvedAny = true
+			}
+		}
+	}
+	return improvedAny
+}
+
+func legacyConfigEqual(a, b legacyConfig) bool {
+	for i := range a.in {
+		if !a.in[i].Equal(b.in[i]) {
+			return false
+		}
+	}
+	for i := range a.out {
+		if !a.out[i].Equal(b.out[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (ls *legacySolver) sweepOrder(sweep int) []int {
+	order := make([]int, len(ls.g.Nodes))
+	for i := range order {
+		order[i] = i
+	}
+	if sweep%2 == 1 {
+		sort.Sort(sort.Reverse(sort.IntSlice(order)))
+	}
+	return order
+}
+
+func (ls *legacySolver) nodeCost(n *adg.Node, cfg legacyConfig, cur []legacyConfig) float64 {
+	var c float64
+	for i, p := range n.In {
+		e := p.Edge
+		pl := ls.labelOf(e.Src, cur)
+		if !pl.Equal(cfg.in[i]) {
+			c += ls.wts[e.ID]
+		}
+	}
+	for i, p := range n.Out {
+		e := p.Edge
+		pl := ls.labelOf(e.Dst, cur)
+		if !pl.Equal(cfg.out[i]) {
+			c += ls.wts[e.ID]
+		}
+	}
+	return c
+}
+
+func (ls *legacySolver) labelOf(p *adg.Port, cur []legacyConfig) ASLabel {
+	cfg := cur[p.Node.ID]
+	if p.Output {
+		return cfg.out[p.Index]
+	}
+	return cfg.in[p.Index]
+}
+
+func (ls *legacySolver) totalCost(cur []legacyConfig) float64 {
+	var c float64
+	for _, e := range ls.g.Edges {
+		if !ls.labelOf(e.Src, cur).Equal(ls.labelOf(e.Dst, cur)) {
+			c += ls.wts[e.ID]
+		}
+	}
+	return c
+}

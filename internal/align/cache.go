@@ -1,0 +1,222 @@
+package align
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"sync"
+
+	"repro/internal/adg"
+	"repro/internal/expr"
+)
+
+// Cache is a bounded, content-addressed memo of completed pipeline
+// results. The key is a cryptographic hash of a canonical serialization
+// of the ADG plus every option that affects the computed alignment, so a
+// hit guarantees the cached result is the one the pipeline would
+// recompute — repeated compiles of an unchanged program are O(hash).
+// Parallelism settings are deliberately excluded from the key: the
+// solvers produce identical results at every parallelism level, so runs
+// that differ only in worker count share entries.
+//
+// Eviction is LRU with a fixed capacity. A Cache is safe for concurrent
+// use and is intended to be shared across Align calls (and across
+// goroutines of a long-running driver).
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List               // front = most recently used
+	entries map[string]*list.Element // key → element holding *cacheEntry
+	hits    int64
+	misses  int64
+}
+
+type cacheEntry struct {
+	key string
+	res *Result
+}
+
+// DefaultCacheCap is the entry capacity used when NewCache is given a
+// non-positive capacity.
+const DefaultCacheCap = 64
+
+// NewCache returns an empty cache holding at most capacity results
+// (DefaultCacheCap if capacity <= 0).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCap
+	}
+	return &Cache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element, capacity),
+	}
+}
+
+// Len returns the number of cached results.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Counters returns the cumulative hit and miss counts.
+func (c *Cache) Counters() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// get returns the cached result for key (marking it most recently used)
+// or nil, updating the hit/miss counters.
+func (c *Cache) get(key string) *Result {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res
+}
+
+// put stores a result under key, evicting the least recently used entry
+// when the cache is full.
+func (c *Cache) put(key string, res *Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.order.Len() >= c.cap {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.entries, back.Value.(*cacheEntry).key)
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+}
+
+// cacheKey derives the content address of one alignment problem: a
+// SHA-256 over a canonical serialization of the graph (template rank;
+// every node's kind, label, and kind-specific payload; every port's
+// rank, extents, and iteration space; every edge's endpoints and control
+// weight) and of the result-affecting options. Node, port, and edge IDs
+// are dense construction-order indices, so structurally identical graphs
+// serialize identically.
+func cacheKey(g *adg.Graph, opts Options) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "v1|tr%d|", g.TemplateRank)
+	for _, n := range g.Nodes {
+		fmt.Fprintf(h, "n%d;%d;%q;%d;%d;", n.ID, n.Kind, n.Label, len(n.In), len(n.Out))
+		if n.Section != nil {
+			for _, s := range n.Section.Subs {
+				fmt.Fprintf(h, "s%v;%v;", s.IsRange, s.IsVector)
+				hashAffine(h, s.Lo)
+				hashAffine(h, s.Hi)
+				hashAffine(h, s.Step)
+				hashAffine(h, s.Index)
+			}
+		}
+		fmt.Fprintf(h, "sp%d;", n.SpreadDim)
+		hashAffine(h, n.SpreadCopies)
+		fmt.Fprintf(h, "rd%d;ro%v;cm%v;", n.ReduceDim, n.ReadOnly, n.CondMerge)
+		if n.Xform != nil {
+			fmt.Fprintf(h, "x%d;%q;", n.Xform.Kind, n.Xform.LIV)
+			hashAffine(h, n.Xform.Lo)
+			hashAffine(h, n.Xform.Hi)
+			hashAffine(h, n.Xform.Step)
+		}
+	}
+	for _, p := range g.Ports {
+		fmt.Fprintf(h, "p%d;%d;", p.ID, p.Rank)
+		for _, e := range p.Extents {
+			hashAffine(h, e)
+		}
+		fmt.Fprintf(h, "|")
+		for k, liv := range p.Space.LIVs {
+			fmt.Fprintf(h, "%q;", liv)
+			hashAffine(h, p.Space.Lo[k])
+			hashAffine(h, p.Space.Hi[k])
+			hashAffine(h, p.Space.Step[k])
+		}
+	}
+	for _, e := range g.Edges {
+		fmt.Fprintf(h, "e%d;%d;%d;%g;", e.ID, e.Src.ID, e.Dst.ID, e.Control)
+	}
+	// Result-affecting options only: parallelism is excluded on purpose.
+	fmt.Fprintf(h, "o|%d;%d;%d;%d;%v;%v;%d;%d;",
+		opts.Offset.Strategy, opts.Offset.M, opts.Offset.MaxRefine,
+		opts.Offset.UnrollCap, opts.Offset.Static,
+		opts.Replication, opts.ReplicationRounds, opts.AxisStride.Restarts)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func hashAffine(h hash.Hash, a expr.Affine) {
+	fmt.Fprintf(h, "a%d", a.ConstPart())
+	a.EachTerm(func(t expr.Term) bool {
+		fmt.Fprintf(h, "+%d%s", t.Coef, t.Var)
+		return true
+	})
+	fmt.Fprintf(h, ";")
+}
+
+// rehydrate rebinds a cached result to g, a graph whose canonical
+// serialization matched the cached one: every node, port, and edge ID
+// denotes the same structural element, so edge lists remap by ID and
+// per-port tables copy over unchanged. Label, stride, and offset values
+// (ASLabel, expr.Affine) are immutable and shared with the cached
+// result; the containers are fresh so callers may extend them freely.
+func (r *Result) rehydrate(g *adg.Graph) *Result {
+	as := &AxisStrideResult{
+		Labels: make(map[int]ASLabel, len(r.AxisStride.Labels)),
+		Cost:   r.AxisStride.Cost,
+		Stats:  r.AxisStride.Stats,
+	}
+	for id, l := range r.AxisStride.Labels {
+		as.Labels[id] = l
+	}
+	for _, e := range r.AxisStride.GeneralEdges {
+		as.GeneralEdges = append(as.GeneralEdges, g.Edges[e.ID])
+	}
+	repl := &ReplResult{
+		PortRepl:  make(map[int][]bool, len(r.Repl.PortRepl)),
+		PerAxis:   append([]int64{}, r.Repl.PerAxis...),
+		Broadcast: r.Repl.Broadcast,
+		CutEdges:  make([][]*adg.Edge, len(r.Repl.CutEdges)),
+	}
+	for id, v := range r.Repl.PortRepl {
+		repl.PortRepl[id] = append([]bool{}, v...)
+	}
+	for t, cut := range r.Repl.CutEdges {
+		for _, e := range cut {
+			repl.CutEdges[t] = append(repl.CutEdges[t], g.Edges[e.ID])
+		}
+	}
+	off := &OffsetResult{
+		Offsets:       make(map[int][]expr.Affine, len(r.Offset.Offsets)),
+		Approx:        r.Offset.Approx,
+		Exact:         r.Offset.Exact,
+		LPVariables:   r.Offset.LPVariables,
+		LPConstraints: r.Offset.LPConstraints,
+		Solves:        r.Offset.Solves,
+		Stats:         r.Offset.Stats,
+	}
+	for id, v := range r.Offset.Offsets {
+		off.Offsets[id] = append([]expr.Affine{}, v...)
+	}
+	out := &Result{
+		Graph:      g,
+		AxisStride: as,
+		Repl:       repl,
+		Offset:     off,
+		CacheHit:   true,
+	}
+	out.Assignment = out.BuildAssignment()
+	return out
+}

@@ -1,0 +1,70 @@
+package align
+
+import (
+	"strconv"
+
+	"repro/internal/expr"
+)
+
+// internTable assigns dense int32 IDs to the distinct ASLabels seen
+// during one axis/stride solve, so that every equality test downstream of
+// candidate generation — config dedup in enumConfigs, best-response cost
+// evaluation, expansion wavefront matching — is a single integer compare
+// instead of a structural (or string-key) comparison. The table is
+// per-solve: IDs are meaningless across solves.
+//
+// A canonical byte key is built once per intern call into a reusable
+// buffer; the map lookup uses the compiler's zero-copy string(buf)
+// optimization, so interning a label already in the table allocates
+// nothing. Only genuinely new labels materialize a key string. Interning
+// happens only during candidate generation and config enumeration; the
+// optimize loop never touches the table.
+type internTable struct {
+	ids    map[string]int32
+	labels []ASLabel
+	buf    []byte
+}
+
+func newInternTable() *internTable {
+	return &internTable{ids: make(map[string]int32, 64)}
+}
+
+// intern returns the dense ID of l, assigning the next free ID if l has
+// not been seen before.
+func (t *internTable) intern(l ASLabel) int32 {
+	t.buf = appendLabelKey(t.buf[:0], l)
+	if id, ok := t.ids[string(t.buf)]; ok {
+		return id
+	}
+	id := int32(len(t.labels))
+	t.ids[string(t.buf)] = id
+	t.labels = append(t.labels, l)
+	return id
+}
+
+// label returns the label for a previously interned ID.
+func (t *internTable) label(id int32) ASLabel { return t.labels[id] }
+
+// size returns the number of distinct labels interned.
+func (t *internTable) size() int { return len(t.labels) }
+
+// appendLabelKey appends a canonical encoding of l to dst: per dimension,
+// the template axis followed by the stride's constant part and sorted
+// (coef, var) terms. Affine terms are kept sorted by variable name, so
+// equal labels always encode to equal keys.
+func appendLabelKey(dst []byte, l ASLabel) []byte {
+	for d := range l.AxisMap {
+		dst = strconv.AppendInt(dst, int64(l.AxisMap[d]), 10)
+		dst = append(dst, ':')
+		st := l.Stride[d]
+		dst = strconv.AppendInt(dst, st.ConstPart(), 10)
+		st.EachTerm(func(tm expr.Term) bool {
+			dst = append(dst, '+')
+			dst = strconv.AppendInt(dst, tm.Coef, 10)
+			dst = append(dst, tm.Var...)
+			return true
+		})
+		dst = append(dst, ';')
+	}
+	return dst
+}

@@ -1,0 +1,66 @@
+package align
+
+import (
+	"testing"
+
+	"repro/internal/expr"
+)
+
+// TestInternZeroAlloc pins the property the interning redesign bought:
+// re-interning a label already in the table builds its canonical key in
+// the reused buffer and looks it up without materializing a string — so
+// the steady state of candidate generation and config enumeration
+// constructs zero string keys (the pre-PR solver built two per
+// candidate).
+func TestInternZeroAlloc(t *testing.T) {
+	tab := newInternTable()
+	labels := []ASLabel{
+		identityLabel(2),
+		{AxisMap: []int{2, 1}, Stride: []expr.Affine{expr.Const(1), expr.Axpy(2, "k", 1)}},
+		{AxisMap: []int{1, 3}, Stride: []expr.Affine{expr.Axpy(-1, "k", 0), expr.Const(3)}},
+	}
+	for _, l := range labels {
+		tab.intern(l)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		for _, l := range labels {
+			tab.intern(l)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("interning already-seen labels allocates %.1f objects/run, want 0", allocs)
+	}
+}
+
+// TestSweepZeroAlloc asserts the best-response hot path — incident-cost
+// evaluation and move application over the dirty worklist — runs
+// allocation-free once a start's state exists.
+func TestSweepZeroAlloc(t *testing.T) {
+	g := mustGraph(t, `
+real B(64,48), C(48,64), D(64,48)
+do k = 1, 8
+  B = B + transpose(C)
+  C = transpose(B)
+  D = D + B
+  B = D * 2
+enddo
+`)
+	s := &asSolver{g: g, tab: newInternTable(), cands: make([][]int32, len(g.Ports))}
+	if err := s.generateCandidates(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.buildNodeConfigs(); err != nil {
+		t.Fatal(err)
+	}
+	st := newStartState(s, 0)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := range st.dirty {
+			st.dirty[i] = true
+		}
+		st.sweepOnce(0)
+		st.sweepOnce(1)
+	})
+	if allocs != 0 {
+		t.Errorf("best-response sweep allocates %.1f objects/run, want 0", allocs)
+	}
+}

@@ -10,6 +10,9 @@ import (
 
 // Options configures the full alignment pipeline.
 type Options struct {
+	// AxisStride configures the §3 compact dynamic program (multi-start
+	// parallelism and restart count).
+	AxisStride AxisStrideOptions
 	// Offset configures the mobile offset solver (§4).
 	Offset OffsetOptions
 	// Replication enables replication labeling (§5). When false every
@@ -20,6 +23,11 @@ type Options struct {
 	// and replication discarding edges from the offset problem).
 	// Default 2.
 	ReplicationRounds int
+	// Cache, when non-nil, memoizes completed results content-addressed
+	// by the ADG and the result-affecting options: aligning an unchanged
+	// program again returns the cached alignment (rebound to the caller's
+	// graph) without running any solver. See NewCache.
+	Cache *Cache
 }
 
 // PhaseTimes is the wall time of each pipeline phase.
@@ -43,6 +51,9 @@ type Result struct {
 	Assignment *adg.Assignment
 	// Times records per-phase wall time.
 	Times PhaseTimes
+	// CacheHit reports that this result was served from Options.Cache
+	// (phase times are zero in that case — no solver ran).
+	CacheHit bool
 }
 
 // Align runs the full pipeline of the paper on an ADG: axis and (mobile)
@@ -53,9 +64,16 @@ func Align(g *adg.Graph, opts Options) (*Result, error) {
 	if opts.ReplicationRounds <= 0 {
 		opts.ReplicationRounds = 2
 	}
+	var key string
+	if opts.Cache != nil {
+		key = cacheKey(g, opts)
+		if hit := opts.Cache.get(key); hit != nil {
+			return hit.rehydrate(g), nil
+		}
+	}
 	var times PhaseTimes
 	t0 := time.Now()
-	as, err := AxisStride(g)
+	as, err := AxisStrideOpts(g, opts.AxisStride)
 	if err != nil {
 		return nil, fmt.Errorf("align: axis/stride phase: %w", err)
 	}
@@ -103,6 +121,9 @@ func Align(g *adg.Graph, opts Options) (*Result, error) {
 	}
 	res := &Result{Graph: g, AxisStride: as, Repl: repl, Offset: off, Times: times}
 	res.Assignment = res.BuildAssignment()
+	if opts.Cache != nil {
+		opts.Cache.put(key, res)
+	}
 	return res, nil
 }
 

@@ -71,6 +71,17 @@ func (a Affine) Terms() []Term {
 	return cp
 }
 
+// EachTerm calls f for each linear term in variable order, stopping early
+// if f returns false. Unlike Terms it does not allocate, which matters to
+// callers on hot paths (label interning, candidate propagation).
+func (a Affine) EachTerm(f func(Term) bool) {
+	for _, t := range a.terms {
+		if !f(t) {
+			return
+		}
+	}
+}
+
 // Vars returns the variables with nonzero coefficients, sorted.
 func (a Affine) Vars() []string {
 	vs := make([]string, len(a.terms))

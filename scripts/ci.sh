@@ -26,4 +26,7 @@ go test ./...
 echo "== go test -race (align, lp, root)"
 go test -race ./internal/align/... ./internal/lp/... .
 
+echo "== bench smoke (1x: benchmarks must build, run, and hold their gates)"
+go test -run=NONE -bench=. -benchtime=1x .
+
 echo "tier1: OK"
