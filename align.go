@@ -101,20 +101,98 @@ func AlignProgram(prog *lang.Program, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("build ADG: %w", err)
 	}
-	ar, err := align.Align(g, align.Options{
+	ar, err := align.Align(g, opts.alignOptions())
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Program: prog, Info: info, Graph: g, Align: ar}
+	res.Cost = cost.Exact(g, ar.Assignment)
+	return res, nil
+}
+
+// alignOptions lowers the public options to the pipeline's.
+func (o Options) alignOptions() align.Options {
+	return align.Options{
 		AxisStride: align.AxisStrideOptions{
-			Parallelism: opts.Parallelism,
-			Restarts:    opts.Restarts,
+			Parallelism: o.Parallelism,
+			Restarts:    o.Restarts,
 		},
 		Offset: align.OffsetOptions{
-			Strategy:    opts.Strategy,
-			M:           opts.Subranges,
-			Parallelism: opts.Parallelism,
+			Strategy:    o.Strategy,
+			M:           o.Subranges,
+			Parallelism: o.Parallelism,
 		},
-		Replication:       opts.Replication,
-		ReplicationRounds: opts.ReplicationRounds,
-		Cache:             opts.Cache,
+		Replication:       o.Replication,
+		ReplicationRounds: o.ReplicationRounds,
+		Cache:             o.Cache,
+	}
+}
+
+// BatchOptions configures AlignBatch.
+type BatchOptions struct {
+	// Workers is the global worker budget shared by the whole batch;
+	// values ≤ 0 mean GOMAXPROCS. The budget is leased to in-flight
+	// programs: a batch wider than the budget runs that many
+	// single-threaded solves concurrently, a narrower batch grants each
+	// solve a proportionally larger share for its internal parallelism.
+	// The batch never runs programs × per-solve workers goroutines, and
+	// Options.Parallelism is ignored in favor of the lease.
+	Workers int
+}
+
+// BatchResult is one slot of an AlignBatch: the aligned program or the
+// error of the source at the same index of the input slice.
+type BatchResult struct {
+	Result *Result
+	Err    error
+}
+
+// AlignBatch aligns many programs under one global worker budget and
+// returns the results in input order (slot i belongs to srcs[i]); a
+// failing program reports its error in its own slot without voiding the
+// rest. Options applies to every program. Its Cache — or a batch-local
+// cache when nil — dedups identical programs: each distinct ADG is
+// solved exactly once per batch, concurrent duplicates collapsing into
+// the leader's solve (singleflight) and receiving the shared result
+// rebound to their own graphs.
+//
+// The computed alignments and costs are byte-identical for every
+// Workers setting and every input permutation (modulo slot order
+// following the permutation): worker count only changes scheduling,
+// never results.
+func AlignBatch(srcs []string, opts Options, bopts BatchOptions) []BatchResult {
+	out := make([]BatchResult, len(srcs))
+	if len(srcs) == 0 {
+		return out
+	}
+	aopts := opts.alignOptions()
+	if aopts.Cache == nil {
+		aopts.Cache = align.NewCache(len(srcs))
+	}
+	sched := align.NewScheduler(bopts.Workers)
+	sched.Map(len(srcs), func(i, lease int) {
+		out[i].Result, out[i].Err = alignLeased(sched, srcs[i], aopts, lease)
 	})
+	return out
+}
+
+// alignLeased is the per-program body of AlignBatch: the full
+// source-to-cost pipeline with solver parallelism bounded by the
+// scheduler's lease.
+func alignLeased(sched *align.Scheduler, src string, aopts align.Options, lease int) (*Result, error) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	info, err := lang.Analyze(prog)
+	if err != nil {
+		return nil, fmt.Errorf("analyze: %w", err)
+	}
+	g, err := build.Build(info)
+	if err != nil {
+		return nil, fmt.Errorf("build ADG: %w", err)
+	}
+	ar, err := sched.AlignLeased(g, aopts, lease)
 	if err != nil {
 		return nil, err
 	}

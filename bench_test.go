@@ -687,3 +687,114 @@ func BenchmarkAlignCached(b *testing.B) {
 		b.Errorf("cached result's Report() does not record the cache hit:\n%s", res.Report())
 	}
 }
+
+// batchWorkload generates n distinct programs drawn from four template
+// families (mobile stencil, Figure 1, transpose chain, spread loop) with
+// sizes varied per index, so every program hashes to its own cache key.
+func batchWorkload(n int) []string {
+	srcs := make([]string, n)
+	for i := range srcs {
+		switch i % 4 {
+		case 0:
+			srcs[i] = fmt.Sprintf(`
+real U(%d), F(%d)
+do k = 1, %d
+  U(k:k+29) = U(k:k+29) + F(k:k+29)
+enddo
+`, 80+i, 80+i, 8+i%8)
+		case 1:
+			m := 40 + i
+			srcs[i] = fmt.Sprintf(`
+real A(%d,%d), V(%d)
+do k = 1, %d
+  A(k,1:%d) = A(k,1:%d) + V(k:k+%d)
+enddo
+`, m, m, 2*m, m, m, m, m-1)
+		case 2:
+			srcs[i] = fmt.Sprintf(`
+real B(%d,%d), C(%d,%d)
+B = B + transpose(C)
+B = B * 2
+C = transpose(B)
+`, 64+i, 32+i, 32+i, 64+i)
+		default:
+			srcs[i] = fmt.Sprintf(`
+real T(%d), B(%d,%d)
+do k = 1, 8
+  T = cos(T)
+  B = B + spread(T, 2, %d)
+enddo
+`, 50+i, 50+i, 100+i, 100+i)
+		}
+	}
+	return srcs
+}
+
+// BenchmarkBatchThroughput — the batch alignment engine (E13).
+//
+// mixed: 32 distinct programs under AlignBatch; programs/sec at one
+// worker versus GOMAXPROCS workers. With GOMAXPROCS ≥ 8 the scaling
+// must reach ≥ 3× (gated); on narrower boxes the ratio is reported
+// only — one core cannot overlap solves (cf. BenchmarkOffsetsParallel).
+//
+// duplicates: 64 programs with only 4 distinct sources; the sharded
+// cache's singleflight must collapse them to exactly 4 pipeline
+// executions at every worker count, asserted unconditionally.
+func BenchmarkBatchThroughput(b *testing.B) {
+	procs := runtime.GOMAXPROCS(0)
+	b.Run("mixed", func(b *testing.B) {
+		srcs := batchWorkload(32)
+		opts := DefaultOptions()
+		run := func(workers int) error {
+			for _, br := range AlignBatch(srcs, opts, BatchOptions{Workers: workers}) {
+				if br.Err != nil {
+					return br.Err
+				}
+			}
+			return nil
+		}
+		seq := minTime(b, 2, 1, func() error { return run(1) })
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := run(procs); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		par := minTime(b, 2, 1, func() error { return run(procs) })
+		speedup := float64(seq) / float64(par)
+		b.ReportMetric(float64(len(srcs))/par.Seconds(), "programs/sec")
+		b.ReportMetric(float64(len(srcs))/seq.Seconds(), "programs/sec-1w")
+		b.ReportMetric(speedup, "speedup")
+		b.ReportMetric(float64(procs), "gomaxprocs")
+		if procs >= 8 && speedup < 3 {
+			b.Errorf("batch throughput scaled %.2fx from 1 to %d workers, want >= 3x", speedup, procs)
+		}
+	})
+	b.Run("duplicates", func(b *testing.B) {
+		unique := batchWorkload(4)
+		srcs := make([]string, 64)
+		for i := range srcs {
+			srcs[i] = unique[i%len(unique)]
+		}
+		opts := DefaultOptions()
+		var computes, shared int64
+		for i := 0; i < b.N; i++ {
+			cache := NewCache(len(srcs))
+			o := opts
+			o.Cache = cache
+			for _, br := range AlignBatch(srcs, o, BatchOptions{Workers: 8}) {
+				if br.Err != nil {
+					b.Fatal(br.Err)
+				}
+			}
+			computes, shared = cache.FlightStats()
+			if computes != int64(len(unique)) {
+				b.Fatalf("duplicate-heavy batch ran %d pipeline executions, want exactly %d (one per unique program)",
+					computes, len(unique))
+			}
+		}
+		b.ReportMetric(float64(computes), "unique-solves")
+		b.ReportMetric(float64(shared), "flight-shared")
+	})
+}

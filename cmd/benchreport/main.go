@@ -37,6 +37,7 @@ func main() {
 	e10()
 	e11()
 	snap := e12()
+	snap.Batch = e13()
 	if *jsonPath != "" {
 		writeSnapshot(*jsonPath, snap)
 	}
@@ -208,14 +209,25 @@ enddo
 		fmt.Sprintf("%v (%d pivots, %d warm solves)", warmT.Round(time.Microsecond), warm.Stats.Pivots, warm.Stats.WarmSolves))
 }
 
+// schemaVersion is the BENCH_align.json layout version. Bump it when
+// the snapshot shape changes; writeSnapshot refuses to clobber a file
+// written by a newer benchreport (schema_version greater than this), so
+// an old binary can never silently downgrade the perf record.
+//
+// History: v1 (implicit 0/absent) — PR 2's workloads + cache record;
+// v2 — adds schema_version itself and the E13 batch-throughput row.
+const schemaVersion = 2
+
 // Snapshot is the machine-readable record benchreport writes alongside
 // the text report, so the perf trajectory (phase times, DP and LP effort,
-// cache behavior) is tracked from PR 2 onward.
+// cache behavior, batch throughput) is tracked from PR 2 onward.
 type Snapshot struct {
+	SchemaVersion int                `json:"schema_version"`
 	GeneratedUnix int64              `json:"generated_unix"`
 	GoMaxProcs    int                `json:"gomaxprocs"`
 	Workloads     []WorkloadSnapshot `json:"workloads"`
 	Cache         CacheSnapshot      `json:"cache"`
+	Batch         BatchSnapshot      `json:"batch"`
 }
 
 // WorkloadSnapshot is one program's pipeline profile.
@@ -262,12 +274,28 @@ type CacheSnapshot struct {
 	Speedup  float64 `json:"speedup"`
 }
 
+// BatchSnapshot is the E13 batch-engine record: many-program throughput
+// under the cooperative scheduler and the sharded cache's dedup and
+// contention behavior.
+type BatchSnapshot struct {
+	Workers         int     `json:"workers"`
+	Programs        int     `json:"programs"`
+	UniquePrograms  int     `json:"unique_programs"`
+	Computes        int64   `json:"computes"`
+	SharedFlights   int64   `json:"shared_flights"`
+	ProgramsPerSec1 float64 `json:"programs_per_sec_1w"`
+	ProgramsPerSecN float64 `json:"programs_per_sec_nw"`
+	Speedup         float64 `json:"speedup"`
+	CacheShards     int     `json:"cache_shards"`
+	ShardContention int64   `json:"shard_contention"`
+}
+
 // e12 measures this PR's performance architecture: the interned-label
 // incremental DP against the retained string-keyed solver, and the
 // content-addressed pipeline cache on repeated compiles. It returns the
 // snapshot for BENCH_align.json.
 func e12() Snapshot {
-	snap := Snapshot{GeneratedUnix: time.Now().Unix(), GoMaxProcs: runtime.GOMAXPROCS(0)}
+	snap := Snapshot{SchemaVersion: schemaVersion, GeneratedUnix: time.Now().Unix(), GoMaxProcs: runtime.GOMAXPROCS(0)}
 	dpSrc := `
 real A(64,64,64,64), B(128,128,128,128), C(64,64), D(64,64), V(64)
 do k = 1, 16
@@ -343,6 +371,91 @@ enddo
 	return snap
 }
 
+// batchWorkload generates n distinct programs from four template
+// families with sizes varied per index (mirrors the bench harness's
+// generator so the E13 numbers match BenchmarkBatchThroughput).
+func batchWorkload(n int) []string {
+	srcs := make([]string, n)
+	for i := range srcs {
+		switch i % 4 {
+		case 0:
+			srcs[i] = fmt.Sprintf("\nreal U(%d), F(%d)\ndo k = 1, %d\n  U(k:k+29) = U(k:k+29) + F(k:k+29)\nenddo\n",
+				80+i, 80+i, 8+i%8)
+		case 1:
+			m := 40 + i
+			srcs[i] = fmt.Sprintf("\nreal A(%d,%d), V(%d)\ndo k = 1, %d\n  A(k,1:%d) = A(k,1:%d) + V(k:k+%d)\nenddo\n",
+				m, m, 2*m, m, m, m, m-1)
+		case 2:
+			srcs[i] = fmt.Sprintf("\nreal B(%d,%d), C(%d,%d)\nB = B + transpose(C)\nB = B * 2\nC = transpose(B)\n",
+				64+i, 32+i, 32+i, 64+i)
+		default:
+			srcs[i] = fmt.Sprintf("\nreal T(%d), B(%d,%d)\ndo k = 1, 8\n  T = cos(T)\n  B = B + spread(T, 2, %d)\nenddo\n",
+				50+i, 50+i, 100+i, 100+i)
+		}
+	}
+	return srcs
+}
+
+// e13 measures the batch alignment engine: mixed-workload throughput at
+// one versus GOMAXPROCS workers under the cooperative scheduler, and a
+// duplicate-heavy batch whose singleflight dedup must collapse 64
+// programs to 4 pipeline executions. Returns the E13 snapshot row.
+func e13() BatchSnapshot {
+	procs := runtime.GOMAXPROCS(0)
+	opts := repro.DefaultOptions()
+	run := func(srcs []string, workers int, cache *repro.Cache) time.Duration {
+		o := opts
+		o.Cache = cache
+		t0 := time.Now()
+		for i, br := range repro.AlignBatch(srcs, o, repro.BatchOptions{Workers: workers}) {
+			if br.Err != nil {
+				fail(fmt.Errorf("batch slot %d: %w", i, br.Err))
+			}
+		}
+		return time.Since(t0)
+	}
+
+	mixed := batchWorkload(32)
+	seqT := run(mixed, 1, repro.NewCache(len(mixed)))
+	parCache := repro.NewCache(len(mixed))
+	parT := run(mixed, procs, parCache)
+	ps1 := float64(len(mixed)) / seqT.Seconds()
+	psN := float64(len(mixed)) / parT.Seconds()
+
+	unique := batchWorkload(4)
+	dup := make([]string, 64)
+	for i := range dup {
+		dup[i] = unique[i%len(unique)]
+	}
+	dupCache := repro.NewCache(len(dup))
+	run(dup, procs, dupCache)
+	computes, shared := dupCache.FlightStats()
+
+	snap := BatchSnapshot{
+		Workers:         procs,
+		Programs:        len(dup),
+		UniquePrograms:  len(unique),
+		Computes:        computes,
+		SharedFlights:   shared,
+		ProgramsPerSec1: ps1,
+		ProgramsPerSecN: psN,
+		Speedup:         float64(seqT) / float64(parT),
+		CacheShards:     parCache.Shards(),
+		ShardContention: parCache.Contention() + dupCache.Contention(),
+	}
+	row("E13/batch", fmt.Sprintf("mixed throughput, %d programs", len(mixed)),
+		"scales with workers (1 core: ~1x)",
+		fmt.Sprintf("%.1f prog/s @1w, %.1f prog/s @%dw (%.2fx)", ps1, psN, procs, snap.Speedup))
+	row("E13/batch", "duplicate dedup, 64 progs / 4 unique", "exactly 4 pipeline executions",
+		fmt.Sprintf("%d computes, %d shared flights", computes, shared))
+	row("E13/batch", "cache shard contention", "near zero (16 shards)",
+		fmt.Sprintf("%d contended acquisitions", snap.ShardContention))
+	if computes != int64(len(unique)) {
+		fail(fmt.Errorf("E13: duplicate batch ran %d pipeline executions, want %d", computes, len(unique)))
+	}
+	return snap
+}
+
 func timeIt(f func()) time.Duration {
 	t0 := time.Now()
 	f()
@@ -355,6 +468,17 @@ func fail(err error) {
 }
 
 func writeSnapshot(path string, snap Snapshot) {
+	// Never downgrade the perf record: a file written by a newer
+	// benchreport (higher schema_version) is refused, not clobbered.
+	if old, err := os.ReadFile(path); err == nil {
+		var existing struct {
+			SchemaVersion int `json:"schema_version"`
+		}
+		if err := json.Unmarshal(old, &existing); err == nil && existing.SchemaVersion > schemaVersion {
+			fail(fmt.Errorf("refusing to overwrite %s: its schema_version %d is newer than this binary's %d (rebuild benchreport)",
+				path, existing.SchemaVersion, schemaVersion))
+		}
+	}
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		fail(err)

@@ -2,6 +2,8 @@ package repro
 
 import (
 	"fmt"
+	"math/rand"
+	"sort"
 	"strings"
 	"testing"
 
@@ -114,6 +116,98 @@ func normalizeReport(s string) string {
 		out = append(out, line)
 	}
 	return strings.Join(out, "\n")
+}
+
+// normalizeBatchReport additionally strips the "pipeline cache: hit"
+// line: in a batch with duplicate inputs, which copy is the singleflight
+// leader (CacheHit=false) and which are followers (true) is a scheduling
+// accident — everything else must still be byte-identical.
+func normalizeBatchReport(s string) string {
+	lines := strings.Split(normalizeReport(s), "\n")
+	out := lines[:0]
+	for _, line := range lines {
+		if strings.HasPrefix(line, "pipeline cache:") {
+			continue
+		}
+		out = append(out, line)
+	}
+	return strings.Join(out, "\n")
+}
+
+// TestBatchDeterminism pins the batch engine's output stability: the
+// alignments, exact costs, and normalized Report text of AlignBatch are
+// byte-identical across worker counts 1, 2, and 8 and across input
+// permutations, and a duplicate-heavy batch returns the same per-program
+// output while executing the pipeline exactly once per distinct program.
+func TestBatchDeterminism(t *testing.T) {
+	names := make([]string, 0, len(determinismSources))
+	for name := range determinismSources {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	srcs := make([]string, len(names))
+	for i, name := range names {
+		srcs[i] = determinismSources[name]
+	}
+	opts := DefaultOptions()
+
+	normalized := func(t *testing.T, results []BatchResult) []string {
+		t.Helper()
+		out := make([]string, len(results))
+		for i, br := range results {
+			if br.Err != nil {
+				t.Fatalf("slot %d failed: %v", i, br.Err)
+			}
+			out[i] = normalizeBatchReport(br.Result.Report())
+		}
+		return out
+	}
+
+	base := normalized(t, AlignBatch(srcs, opts, BatchOptions{Workers: 1}))
+
+	for _, workers := range []int{2, 8} {
+		got := normalized(t, AlignBatch(srcs, opts, BatchOptions{Workers: workers}))
+		for i := range base {
+			if got[i] != base[i] {
+				t.Errorf("workers=%d: %s report differs from workers=1:\n--- workers=1\n%s\n--- workers=%d\n%s",
+					workers, names[i], base[i], workers, got[i])
+			}
+		}
+	}
+
+	// Shuffled input order: slot i must still hold the result of input i.
+	perm := rand.New(rand.NewSource(7)).Perm(len(srcs))
+	shuffled := make([]string, len(srcs))
+	for i, j := range perm {
+		shuffled[i] = srcs[j]
+	}
+	got := normalized(t, AlignBatch(shuffled, opts, BatchOptions{Workers: 8}))
+	for i, j := range perm {
+		if got[i] != base[j] {
+			t.Errorf("shuffled batch: %s report differs from in-order run", names[j])
+		}
+	}
+
+	t.Run("duplicates", func(t *testing.T) {
+		const copies = 4
+		dup := make([]string, 0, copies*len(srcs))
+		for r := 0; r < copies; r++ {
+			dup = append(dup, srcs...)
+		}
+		o := opts
+		o.Cache = NewCache(len(dup))
+		got := normalized(t, AlignBatch(dup, o, BatchOptions{Workers: 8}))
+		for i, rep := range got {
+			if rep != base[i%len(srcs)] {
+				t.Errorf("duplicate copy of %s differs from its unique run", names[i%len(srcs)])
+			}
+		}
+		computes, _ := o.Cache.FlightStats()
+		if computes != int64(len(srcs)) {
+			t.Errorf("duplicate batch executed the pipeline %d times, want exactly %d (one per distinct program)",
+				computes, len(srcs))
+		}
+	})
 }
 
 // TestAxisStrideDeterminism pins the §3 phase in isolation: the

@@ -1,0 +1,71 @@
+package align
+
+import (
+	"repro/internal/adg"
+)
+
+// BatchOptions configures the batch alignment engine.
+type BatchOptions struct {
+	// Workers is the global worker budget shared by every solve of the
+	// batch; values <= 0 mean GOMAXPROCS. This replaces per-solve
+	// parallelism: Options.AxisStride.Parallelism and
+	// Options.Offset.Parallelism are overridden by each solve's lease,
+	// so a batch never oversubscribes (N programs × M solver workers).
+	Workers int
+	// Scheduler, when non-nil, runs the batch under an existing
+	// scheduler's budget and scratch pools (long-running drivers
+	// serving many batches share one); Workers is then ignored.
+	Scheduler *Scheduler
+}
+
+// AlignBatch aligns every graph under one global worker budget and
+// returns results in input order (results[i] and errs[i] belong to
+// graphs[i]) regardless of completion order. Each graph's error is
+// reported per slot, so one failing program never voids the batch.
+//
+// The batch shares Options.Cache across its solves — duplicate graphs
+// collapse to a single pipeline execution (concurrent duplicates via
+// the cache's singleflight, later ones via plain hits) and the
+// duplicates receive the shared result rehydrated onto their own
+// graphs. When Options.Cache is nil a batch-local cache (sized to the
+// batch) provides the same dedup without persisting anything.
+//
+// All solver state is scratch-pooled on the scheduler, so a
+// steady-state stream of batches allocates near zero beyond the
+// results themselves. Output is byte-identical at every worker count:
+// the per-solve lease only changes wall-clock interleaving, never the
+// computed alignment.
+func AlignBatch(graphs []*adg.Graph, opts Options, bopts BatchOptions) ([]*Result, []error) {
+	results := make([]*Result, len(graphs))
+	errs := make([]error, len(graphs))
+	if len(graphs) == 0 {
+		return results, errs
+	}
+	sched := bopts.Scheduler
+	if sched == nil {
+		sched = NewScheduler(bopts.Workers)
+	}
+	if opts.Cache == nil {
+		opts.Cache = NewCache(len(graphs))
+	}
+	sched.Map(len(graphs), func(i, lease int) {
+		results[i], errs[i] = sched.AlignLeased(graphs[i], opts, lease)
+	})
+	return results, errs
+}
+
+// AlignLeased runs the full pipeline for g under the scheduler's
+// scratch pools with a solver-internal parallelism of lease workers.
+// It is the per-program body of AlignBatch, exported for drivers that
+// own their program loading (the root package's source-level batch,
+// cmd/alignc's -batch mode) and dispatch through Scheduler.Map
+// themselves.
+func (s *Scheduler) AlignLeased(g *adg.Graph, opts Options, lease int) (*Result, error) {
+	if lease < 1 {
+		lease = 1
+	}
+	opts.AxisStride.Parallelism = lease
+	opts.Offset.Parallelism = lease
+	opts.scratch = &s.scratch
+	return Align(g, opts)
+}

@@ -1,0 +1,296 @@
+package align
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/adg"
+)
+
+// TestCacheGetZeroAlloc pins the batch engine's hot path: a warm-cache
+// hit — shard select, map lookup, LRU move-to-front, atomic counter —
+// performs zero allocations, so a steady stream of repeat compiles
+// costs only the key hash.
+func TestCacheGetZeroAlloc(t *testing.T) {
+	g := mustGraph(t, fig1)
+	c := NewCache(8)
+	// ReplicationRounds is part of the content key; pin it to the value
+	// Align defaults to so cacheKey here matches the stored entry.
+	opts := Options{Cache: c, ReplicationRounds: 2}
+	if _, err := Align(g, opts); err != nil {
+		t.Fatal(err)
+	}
+	key := cacheKey(g, opts)
+	if c.get(key) == nil {
+		t.Fatal("warm cache missed its own key")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if c.get(key) == nil {
+			t.Fatal("hit path missed")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("cache hit path allocates %.1f objects per Get, want 0", allocs)
+	}
+}
+
+// TestCacheShardingAndEviction checks that keys spread over every shard
+// by their first hex digit, that capacity splits across shards, and
+// that eviction is LRU within a shard (a touched entry survives, the
+// least recently used one goes).
+func TestCacheShardingAndEviction(t *testing.T) {
+	c := NewCache(cacheShards) // one entry per shard
+	res := &Result{}
+	hex := "0123456789abcdef"
+	for i := 0; i < cacheShards; i++ {
+		c.put(fmt.Sprintf("%c-key", hex[i]), res)
+	}
+	if got := c.Len(); got != cacheShards {
+		t.Fatalf("distinct-shard keys: Len = %d, want %d", got, cacheShards)
+	}
+	for i := range c.shards {
+		if n := c.shards[i].order.Len(); n != 1 {
+			t.Errorf("shard %d holds %d entries, want 1", i, n)
+		}
+	}
+
+	// LRU within one shard: capacity 2 per shard, three same-shard keys.
+	c = NewCache(2 * cacheShards)
+	c.put("a-first", res)
+	c.put("a-second", res)
+	if c.get("a-first") == nil { // touch: now a-second is LRU
+		t.Fatal("a-first missing before eviction")
+	}
+	c.put("a-third", res)
+	if c.get("a-first") == nil {
+		t.Error("recently used entry was evicted")
+	}
+	if c.get("a-second") != nil {
+		t.Error("least recently used entry survived eviction")
+	}
+	if c.get("a-third") == nil {
+		t.Error("new entry missing after eviction")
+	}
+}
+
+// TestCacheSingleflight checks the miss-collapse contract of Cache.do:
+// concurrent callers of one key run compute exactly once and share the
+// result, and failed computes are not cached (the next caller retries).
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache(8)
+	const callers = 8
+	var (
+		started = make(chan struct{})
+		calls   atomic.Int64
+		wg      sync.WaitGroup
+		results [callers]*Result
+	)
+	want := &Result{}
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-started
+			res, _, err := c.do("deadbeef", func() (*Result, error) {
+				calls.Add(1)
+				time.Sleep(20 * time.Millisecond) // let the others pile up
+				return want, nil
+			})
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			results[i] = res
+		}(i)
+	}
+	close(started)
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Errorf("compute ran %d times for one key, want 1", n)
+	}
+	computes, shared := c.FlightStats()
+	hits, _ := c.Counters()
+	if computes != 1 {
+		t.Errorf("FlightStats computes = %d, want 1", computes)
+	}
+	// Every non-leader was served without computing: either it joined the
+	// flight or arrived after completion and hit the cache.
+	if shared+hits != callers-1 {
+		t.Errorf("shared (%d) + hits (%d) = %d, want %d", shared, hits, shared+hits, callers-1)
+	}
+	for i, res := range results {
+		if res != want {
+			t.Errorf("caller %d got a different result", i)
+		}
+	}
+
+	// Errors are not cached: both calls compute.
+	boom := errors.New("boom")
+	for i := 0; i < 2; i++ {
+		_, _, err := c.do("facade", func() (*Result, error) {
+			calls.Add(1)
+			return nil, boom
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("call %d: err = %v, want boom", i, err)
+		}
+	}
+	if n := calls.Load(); n != 3 {
+		t.Errorf("failed compute memoized: %d total calls, want 3", n)
+	}
+}
+
+// TestAlignSingleflight runs the real pipeline concurrently on
+// structurally identical graphs sharing one cache: exactly one solve
+// runs, every caller's result is bound to its own graph, and leader and
+// followers agree on the alignment.
+func TestAlignSingleflight(t *testing.T) {
+	const callers = 6
+	c := NewCache(8)
+	opts := Options{Cache: c}
+	graphs := make([]*adg.Graph, callers)
+	for i := range graphs {
+		graphs[i] = mustGraph(t, fig1)
+	}
+	var wg sync.WaitGroup
+	results := make([]*Result, callers)
+	errs := make([]error, callers)
+	start := make(chan struct{})
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			results[i], errs[i] = Align(graphs[i], opts)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+	}
+	computes, _ := c.FlightStats()
+	if computes != 1 {
+		t.Errorf("identical concurrent solves ran the pipeline %d times, want 1", computes)
+	}
+	leaders := 0
+	for i, res := range results {
+		if res.Graph != graphs[i] {
+			t.Errorf("caller %d: result bound to a foreign graph", i)
+		}
+		if !res.CacheHit {
+			leaders++
+		}
+		if got, want := res.Assignment.String(), results[0].Assignment.String(); got != want {
+			t.Errorf("caller %d: assignment differs from caller 0", i)
+		}
+		if res.Offset.Exact != results[0].Offset.Exact {
+			t.Errorf("caller %d: exact cost %d != %d", i, res.Offset.Exact, results[0].Offset.Exact)
+		}
+	}
+	if leaders != 1 {
+		t.Errorf("%d results report CacheHit=false, want exactly the leader", leaders)
+	}
+}
+
+// TestSchedulerLeasing pins the budget arithmetic and the concurrency
+// ceiling: leases divide the budget exactly, and Map never runs more
+// than budget workers' worth of jobs at once.
+func TestSchedulerLeasing(t *testing.T) {
+	s := NewScheduler(8)
+	for _, tc := range []struct{ n, lease int }{
+		{1, 8}, {2, 4}, {3, 2}, {4, 2}, {5, 1}, {8, 1}, {64, 1},
+	} {
+		if got := s.lease(tc.n); got != tc.lease {
+			t.Errorf("budget 8, %d jobs: lease = %d, want %d", tc.n, got, tc.lease)
+		}
+	}
+
+	const budget = 4
+	s = NewScheduler(budget)
+	var cur, peak atomic.Int64
+	order := make([]int, 16)
+	s.Map(len(order), func(i, lease int) {
+		if lease != 1 {
+			t.Errorf("job %d: lease = %d, want 1 (batch wider than budget)", i, lease)
+		}
+		if n := cur.Add(1); n > peak.Load() {
+			peak.Store(n)
+		}
+		time.Sleep(time.Millisecond)
+		order[i] = i * i
+		cur.Add(-1)
+	})
+	if p := peak.Load(); p > budget {
+		t.Errorf("Map ran %d jobs concurrently, budget is %d", p, budget)
+	}
+	for i, v := range order {
+		if v != i*i {
+			t.Errorf("slot %d = %d, want %d (results must land at their own index)", i, v, i*i)
+		}
+	}
+}
+
+// TestAlignBatchOrderAndErrors checks slot discipline: results arrive
+// in input order and a batch is all-slots-populated even when graphs
+// repeat (dedup must not leave follower slots nil).
+func TestAlignBatchOrderAndErrors(t *testing.T) {
+	srcs := []string{fig1, fig1, fig1, fig1}
+	graphs := make([]*adg.Graph, len(srcs))
+	for i, src := range srcs {
+		graphs[i] = mustGraph(t, src)
+	}
+	cache := NewCache(len(graphs))
+	results, errs := AlignBatch(graphs, Options{Cache: cache}, BatchOptions{Workers: 2})
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("slot %d: %v", i, err)
+		}
+		if results[i] == nil {
+			t.Fatalf("slot %d: nil result", i)
+		}
+		if results[i].Graph != graphs[i] {
+			t.Errorf("slot %d bound to a foreign graph", i)
+		}
+	}
+	computes, _ := cache.FlightStats()
+	if computes != 1 {
+		t.Errorf("4 identical programs ran the pipeline %d times, want 1", computes)
+	}
+}
+
+// TestScratchPoolReuse checks that pooled scratch state round-trips:
+// a released intern table comes back reset, and a nil pool hands out
+// fresh state instead of panicking (the pipeline runs pool-less outside
+// the batch engine).
+func TestScratchPoolReuse(t *testing.T) {
+	var sp scratchPool
+	tab := sp.getIntern()
+	tab.intern(identityLabel(2))
+	if tab.size() != 1 {
+		t.Fatalf("size = %d after intern, want 1", tab.size())
+	}
+	sp.putIntern(tab)
+	got := sp.getIntern()
+	if got != tab {
+		t.Skip("sync.Pool dropped the entry (GC ran); nothing to assert")
+	}
+	if got.size() != 0 {
+		t.Errorf("pooled table not reset: size = %d", got.size())
+	}
+
+	var nilPool *scratchPool
+	if nilPool.getIntern() == nil {
+		t.Error("nil pool returned nil intern table")
+	}
+	if nilPool.getArena() == nil {
+		t.Error("nil pool returned nil arena")
+	}
+	nilPool.putIntern(nil)
+	nilPool.putArena(nil)
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"hash"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/adg"
 	"repro/internal/expr"
@@ -21,21 +22,56 @@ import (
 // solvers produce identical results at every parallelism level, so runs
 // that differ only in worker count share entries.
 //
-// Eviction is LRU with a fixed capacity. A Cache is safe for concurrent
-// use and is intended to be shared across Align calls (and across
-// goroutines of a long-running driver).
+// The cache is built for many concurrent callers (the batch engine and
+// long-running drivers): entries live in a power-of-two number of LRU
+// shards selected by the first byte of the SHA-256 key, each shard
+// behind its own mutex, so lookups on different keys rarely contend.
+// Hit/miss counters are atomic and never serialize the hot path.
+//
+// Misses have singleflight semantics: concurrent callers that miss on
+// the same content key run the §3–§6 pipeline once — one leader
+// computes, the rest wait and share the completed result (rehydrated
+// onto their own graphs). FlightStats reports how many pipeline
+// executions ran and how many were collapsed.
+//
+// Eviction is LRU per shard with a fixed total capacity split evenly
+// across shards.
 type Cache struct {
+	shards [cacheShards]cacheShard
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	contended atomic.Int64 // shard-lock acquisitions that had to wait
+
+	flightMu sync.Mutex
+	flights  map[string]*flightCall
+	computes atomic.Int64 // pipeline executions (singleflight leaders)
+	shared   atomic.Int64 // waiters served by another caller's execution
+}
+
+// cacheShards is the number of LRU shards (a power of two, indexed by
+// the first hex digit of the SHA-256 key).
+const cacheShards = 16
+
+// cacheShard is one independently locked LRU.
+type cacheShard struct {
 	mu      sync.Mutex
 	cap     int
 	order   *list.List               // front = most recently used
 	entries map[string]*list.Element // key → element holding *cacheEntry
-	hits    int64
-	misses  int64
 }
 
 type cacheEntry struct {
 	key string
 	res *Result
+}
+
+// flightCall is one in-flight pipeline execution; waiters block on wg
+// and read res/err after Done.
+type flightCall struct {
+	wg  sync.WaitGroup
+	res *Result
+	err error
 }
 
 // DefaultCacheCap is the entry capacity used when NewCache is given a
@@ -48,58 +84,150 @@ func NewCache(capacity int) *Cache {
 	if capacity <= 0 {
 		capacity = DefaultCacheCap
 	}
-	return &Cache{
-		cap:     capacity,
-		order:   list.New(),
-		entries: make(map[string]*list.Element, capacity),
+	perShard := (capacity + cacheShards - 1) / cacheShards
+	c := &Cache{}
+	for i := range c.shards {
+		c.shards[i].cap = perShard
+		c.shards[i].order = list.New()
+		c.shards[i].entries = make(map[string]*list.Element, perShard)
+	}
+	return c
+}
+
+// shardFor selects the shard from the key's first hex digit (the high
+// nibble of the SHA-256). Non-hex first bytes (not produced by cacheKey,
+// but tolerated for direct get/put use in tests) fold by low bits.
+func (c *Cache) shardFor(key string) *cacheShard {
+	if len(key) == 0 {
+		return &c.shards[0]
+	}
+	b := key[0]
+	switch {
+	case b >= '0' && b <= '9':
+		b -= '0'
+	case b >= 'a' && b <= 'f':
+		b -= 'a' - 10
+	default:
+		b &= cacheShards - 1
+	}
+	return &c.shards[b&(cacheShards-1)]
+}
+
+// lock acquires the shard mutex, counting acquisitions that had to wait
+// (the contention signal benchreport's E13 row reports).
+func (s *cacheShard) lock(c *Cache) {
+	if !s.mu.TryLock() {
+		c.contended.Add(1)
+		s.mu.Lock()
 	}
 }
 
 // Len returns the number of cached results.
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.order.Len()
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.order.Len()
+		s.mu.Unlock()
+	}
+	return n
 }
 
-// Counters returns the cumulative hit and miss counts.
+// Counters returns the cumulative hit and miss counts of get lookups.
 func (c *Cache) Counters() (hits, misses int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return c.hits.Load(), c.misses.Load()
 }
+
+// FlightStats returns how many pipeline executions the cache admitted
+// (computes: singleflight leaders, i.e. distinct solves actually run)
+// and how many callers were served by waiting on another caller's
+// in-flight execution instead of solving themselves (shared).
+func (c *Cache) FlightStats() (computes, shared int64) {
+	return c.computes.Load(), c.shared.Load()
+}
+
+// Contention returns how many shard-lock acquisitions had to wait for
+// another goroutine (a cheap proxy for cache lock contention).
+func (c *Cache) Contention() int64 { return c.contended.Load() }
+
+// Shards returns the number of independently locked LRU shards.
+func (c *Cache) Shards() int { return cacheShards }
 
 // get returns the cached result for key (marking it most recently used)
-// or nil, updating the hit/miss counters.
+// or nil, updating the hit/miss counters. The hit path performs no
+// allocation (asserted by TestCacheGetZeroAlloc).
 func (c *Cache) get(key string) *Result {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries[key]
+	s := c.shardFor(key)
+	s.lock(c)
+	el, ok := s.entries[key]
 	if !ok {
-		c.misses++
+		s.mu.Unlock()
+		c.misses.Add(1)
 		return nil
 	}
-	c.hits++
-	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).res
+	s.order.MoveToFront(el)
+	res := el.Value.(*cacheEntry).res
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return res
 }
 
 // put stores a result under key, evicting the least recently used entry
-// when the cache is full.
+// of the key's shard when that shard is full.
 func (c *Cache) put(key string, res *Result) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.entries[key]; ok {
+	s := c.shardFor(key)
+	s.lock(c)
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
 		el.Value.(*cacheEntry).res = res
-		c.order.MoveToFront(el)
+		s.order.MoveToFront(el)
 		return
 	}
-	for c.order.Len() >= c.cap {
-		back := c.order.Back()
-		c.order.Remove(back)
-		delete(c.entries, back.Value.(*cacheEntry).key)
+	for s.order.Len() >= s.cap {
+		back := s.order.Back()
+		s.order.Remove(back)
+		delete(s.entries, back.Value.(*cacheEntry).key)
 	}
-	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	s.entries[key] = s.order.PushFront(&cacheEntry{key: key, res: res})
+}
+
+// do returns the result for key, computing it at most once across
+// concurrent callers: a fast-path lookup, then singleflight on miss.
+// owned reports that the returned result was computed by this caller
+// and is already bound to its graph; when false the result belongs to
+// the cache (or to another caller's solve) and must be rehydrated.
+// Errors are not cached: every waiter of a failed flight receives the
+// error, and the next caller retries.
+func (c *Cache) do(key string, compute func() (*Result, error)) (res *Result, owned bool, err error) {
+	if hit := c.get(key); hit != nil {
+		return hit, false, nil
+	}
+	c.flightMu.Lock()
+	if c.flights == nil {
+		c.flights = make(map[string]*flightCall)
+	}
+	if call, ok := c.flights[key]; ok {
+		c.flightMu.Unlock()
+		call.wg.Wait()
+		c.shared.Add(1)
+		return call.res, false, call.err
+	}
+	call := &flightCall{}
+	call.wg.Add(1)
+	c.flights[key] = call
+	c.flightMu.Unlock()
+
+	c.computes.Add(1)
+	call.res, call.err = compute()
+	if call.err == nil {
+		c.put(key, call.res)
+	}
+	c.flightMu.Lock()
+	delete(c.flights, key)
+	c.flightMu.Unlock()
+	call.wg.Done()
+	return call.res, true, call.err
 }
 
 // cacheKey derives the content address of one alignment problem: a

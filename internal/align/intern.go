@@ -29,6 +29,16 @@ func newInternTable() *internTable {
 	return &internTable{ids: make(map[string]int32, 64)}
 }
 
+// reset empties the table for reuse by a new solve (the batch engine
+// pools tables across solves). The labels backing array is retained and
+// overwritten slot by slot; ASLabel values previously copied out of the
+// table stay valid because their AxisMap/Stride contents are never
+// mutated, only the table's own slots are.
+func (t *internTable) reset() {
+	clear(t.ids)
+	t.labels = t.labels[:0]
+}
+
 // intern returns the dense ID of l, assigning the next free ID if l has
 // not been seen before.
 func (t *internTable) intern(l ASLabel) int32 {

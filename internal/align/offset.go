@@ -74,6 +74,10 @@ type OffsetOptions struct {
 	// mean GOMAXPROCS. The result is identical for every setting: each
 	// axis solves into its own result and the merge is in axis order.
 	Parallelism int
+
+	// scratch, when non-nil, recycles tableau arenas across solves.
+	// Threaded in by the pipeline from Options.scratch.
+	scratch *scratchPool
 }
 
 func (o OffsetOptions) withDefaults() OffsetOptions {
@@ -126,7 +130,9 @@ type coefKey struct {
 // replication labelings (the §6 iteration) should hold a NewOffsetSolver
 // instead, which warm-starts each round from the previous basis.
 func Offsets(g *adg.Graph, as *AxisStrideResult, repl *ReplResult, opts OffsetOptions) (*OffsetResult, error) {
-	return newOffsetSolver(g, as, opts, false).Solve(repl)
+	s := newOffsetSolver(g, as, opts, false)
+	defer s.releaseScratch()
+	return s.Solve(repl)
 }
 
 func newOffsetResult(g *adg.Graph) *OffsetResult {
@@ -273,7 +279,7 @@ func (ax *axisSolver) solveRLP(parts map[int][]space.Space, res *OffsetResult) (
 func (ax *axisSolver) buildRLP(parts map[int][]space.Space) (*lp.Problem, map[coefKey]lp.VarID) {
 	prob := lp.NewProblem()
 	if ax.arena == nil {
-		ax.arena = lp.NewArena()
+		ax.arena = ax.opts.scratch.getArena()
 	}
 	prob.SetArena(ax.arena)
 	prob.SetStats(ax.stats)

@@ -26,8 +26,14 @@ type Options struct {
 	// Cache, when non-nil, memoizes completed results content-addressed
 	// by the ADG and the result-affecting options: aligning an unchanged
 	// program again returns the cached alignment (rebound to the caller's
-	// graph) without running any solver. See NewCache.
+	// graph) without running any solver, and concurrent solves of the
+	// same content key collapse to one pipeline execution (singleflight).
+	// See NewCache.
 	Cache *Cache
+
+	// scratch, when non-nil, recycles per-solve solver state (intern
+	// tables, tableau arenas). Set by the batch engine's scheduler.
+	scratch *scratchPool
 }
 
 // PhaseTimes is the wall time of each pipeline phase.
@@ -64,14 +70,31 @@ func Align(g *adg.Graph, opts Options) (*Result, error) {
 	if opts.ReplicationRounds <= 0 {
 		opts.ReplicationRounds = 2
 	}
-	var key string
-	if opts.Cache != nil {
-		key = cacheKey(g, opts)
-		if hit := opts.Cache.get(key); hit != nil {
-			return hit.rehydrate(g), nil
-		}
+	if opts.Cache == nil {
+		return alignUncached(g, opts)
 	}
+	// Cached path with singleflight: a hit returns the memoized result
+	// rebound to g; concurrent misses on the same content key run the
+	// pipeline once — the leader's result is already bound to its own
+	// graph, every waiter rehydrates the shared result onto theirs.
+	res, owned, err := opts.Cache.do(cacheKey(g, opts), func() (*Result, error) {
+		return alignUncached(g, opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if owned {
+		return res, nil
+	}
+	return res.rehydrate(g), nil
+}
+
+// alignUncached runs the solver pipeline unconditionally (the compute
+// body of the cached path).
+func alignUncached(g *adg.Graph, opts Options) (*Result, error) {
 	var times PhaseTimes
+	opts.AxisStride.scratch = opts.scratch
+	opts.Offset.scratch = opts.scratch
 	t0 := time.Now()
 	as, err := AxisStrideOpts(g, opts.AxisStride)
 	if err != nil {
@@ -86,6 +109,7 @@ func Align(g *adg.Graph, opts Options) (*Result, error) {
 		// across rounds so each re-solve warm-starts from the previous
 		// basis (only the per-edge θ costs change between rounds).
 		solver := NewOffsetSolver(g, as, opts.Offset)
+		defer solver.releaseScratch()
 		var mobile MobilePredicate
 		for round := 0; round < opts.ReplicationRounds; round++ {
 			t0 = time.Now()
@@ -121,9 +145,6 @@ func Align(g *adg.Graph, opts Options) (*Result, error) {
 	}
 	res := &Result{Graph: g, AxisStride: as, Repl: repl, Offset: off, Times: times}
 	res.Assignment = res.BuildAssignment()
-	if opts.Cache != nil {
-		opts.Cache.put(key, res)
-	}
 	return res, nil
 }
 

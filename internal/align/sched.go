@@ -1,0 +1,120 @@
+package align
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Scheduler is the cooperative worker-budget owner of the batch
+// alignment engine. It fixes one global budget of workers and leases
+// them to in-flight solves, so batch-level concurrency composes with
+// solver-level concurrency instead of multiplying it: a 64-program
+// batch on an 8-worker scheduler runs 8 single-threaded solves at a
+// time, not 64 solves × 8 solver goroutines each. When a batch has
+// fewer programs than workers, each solve is leased a proportionally
+// larger share and spends it on its internal parallelism (per-axis
+// offset RLPs, DP multi-starts).
+//
+// A Scheduler also owns the scratch pools (intern tables, simplex
+// tableau arenas) its solves recycle, so steady-state batch throughput
+// allocates near zero. One Scheduler may be shared by any number of
+// concurrent batches — leases are acquired from the common budget — and
+// is safe for concurrent use.
+type Scheduler struct {
+	budget  int
+	scratch scratchPool
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	avail int
+}
+
+// NewScheduler returns a scheduler with a budget of workers
+// (GOMAXPROCS if workers <= 0).
+func NewScheduler(workers int) *Scheduler {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &Scheduler{budget: workers, avail: workers}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Workers returns the scheduler's global worker budget.
+func (s *Scheduler) Workers() int { return s.budget }
+
+// lease is the worker share granted to each of n jobs: budget/n when
+// the batch is narrower than the budget (leftover workers boost
+// per-solve parallelism), otherwise 1 (maximize solve-level
+// concurrency). Every lease divides the budget, so admitted solves
+// always pack it exactly.
+func (s *Scheduler) lease(n int) int {
+	if n <= 0 || n >= s.budget {
+		return 1
+	}
+	return s.budget / n
+}
+
+// acquire blocks until n workers are available, then claims them.
+// Acquisition is all-or-nothing, so concurrent batches with different
+// lease sizes never deadlock on partially claimed budgets.
+func (s *Scheduler) acquire(n int) {
+	s.mu.Lock()
+	for s.avail < n {
+		s.cond.Wait()
+	}
+	s.avail -= n
+	s.mu.Unlock()
+}
+
+// release returns n workers to the budget.
+func (s *Scheduler) release(n int) {
+	s.mu.Lock()
+	s.avail += n
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Map runs job(i, lease) for every i in [0, n), each holding a lease of
+// workers acquired from the budget for the duration of the call. Jobs
+// are dispatched in index order onto at most budget/lease runner
+// goroutines; each job's lease is the parallelism it may spend
+// internally. Map returns when every job has finished. Result ordering
+// is the caller's: jobs write to their own index, so the output order
+// is the input order regardless of completion order.
+func (s *Scheduler) Map(n int, job func(i, lease int)) {
+	if n <= 0 {
+		return
+	}
+	lease := s.lease(n)
+	runners := s.budget / lease
+	if runners > n {
+		runners = n
+	}
+	if runners <= 1 {
+		for i := 0; i < n; i++ {
+			s.acquire(lease)
+			job(i, lease)
+			s.release(lease)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for r := 0; r < runners; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				s.acquire(lease)
+				job(i, lease)
+				s.release(lease)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

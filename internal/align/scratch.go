@@ -1,0 +1,70 @@
+package align
+
+import (
+	"sync"
+
+	"repro/internal/lp"
+)
+
+// scratchPool recycles the per-solve scratch state of the pipeline —
+// the §3 solver's label intern table and the per-axis simplex tableau
+// arenas — so a steady stream of solves (the batch engine's regime)
+// allocates near zero once warm. A pool is owned by a Scheduler and
+// shared by every solve it runs; both underlying sync.Pools are safe
+// for concurrent use.
+//
+// Nothing pooled outlives a solve: AxisStrideOpts copies the chosen
+// labels out of the intern table before releasing it, and lp.Arena
+// storage is only referenced by tableaux that die with the solve's
+// lp.Problems.
+type scratchPool struct {
+	interns sync.Pool // *internTable
+	arenas  sync.Pool // *lp.Arena
+}
+
+// getIntern returns a reset intern table, reusing a pooled one when
+// available.
+func (sp *scratchPool) getIntern() *internTable {
+	if sp == nil {
+		return newInternTable()
+	}
+	if t, ok := sp.interns.Get().(*internTable); ok {
+		t.reset()
+		return t
+	}
+	return newInternTable()
+}
+
+// putIntern returns a table to the pool. Safe to call with the table's
+// labels still referenced by value copies elsewhere: reuse overwrites
+// only the table's own slots, never the label contents those copies
+// share.
+func (sp *scratchPool) putIntern(t *internTable) {
+	if sp != nil && t != nil {
+		sp.interns.Put(t)
+	}
+}
+
+// getArena returns a tableau arena, reusing a pooled one when
+// available. The arena's storage is reused as-is; lp.Arena zeroes each
+// carved slice itself.
+func (sp *scratchPool) getArena() *lp.Arena {
+	if sp == nil {
+		return lp.NewArena()
+	}
+	if a, ok := sp.arenas.Get().(*lp.Arena); ok {
+		return a
+	}
+	return lp.NewArena()
+}
+
+// putArena returns an arena to the pool, rewound so the next owner
+// carves from the start of its blocks. The caller must guarantee no
+// live tableau still reads the arena's storage (true once the owning
+// lp.Problems are dead).
+func (sp *scratchPool) putArena(a *lp.Arena) {
+	if sp != nil && a != nil {
+		a.Reset()
+		sp.arenas.Put(a)
+	}
+}

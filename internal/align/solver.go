@@ -120,6 +120,21 @@ func (s *OffsetSolver) Solve(repl *ReplResult) (*OffsetResult, error) {
 	return res, nil
 }
 
+// releaseScratch returns the per-axis tableau arenas to the scratch
+// pool (a no-op when the solver runs without one). Call only once the
+// solver is finished: warm bases and live tableaux read arena storage,
+// so releasing between rounds would hand their memory to another solve.
+func (s *OffsetSolver) releaseScratch() {
+	for _, st := range s.axes {
+		if st.ax.arena != nil {
+			s.opts.scratch.putArena(st.ax.arena)
+			st.ax.arena = nil
+		}
+		st.prob = nil
+		st.vars = nil
+	}
+}
+
 func min(a, b int) int {
 	if a < b {
 		return a

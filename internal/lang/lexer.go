@@ -2,7 +2,6 @@ package lang
 
 import (
 	"strings"
-	"unicode"
 )
 
 // Lexer turns source text into tokens. Case is folded to lower for
@@ -173,7 +172,13 @@ func (lx *Lexer) next() (Token, error) {
 	return Token{}, errf(start, "unexpected character %q", c)
 }
 
-func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+// Identifiers are ASCII-only: the lexer walks bytes, so admitting
+// unicode.IsLetter on a byte cast to rune would misread stray UTF-8
+// bytes (0x80..0xFF) as Latin-1 letters and produce identifiers that
+// cannot round-trip through Program.String (found by FuzzLexer).
+func isIdentStart(r rune) bool {
+	return r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+}
 func isIdentPart(r rune) bool {
-	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+	return isIdentStart(r) || (r >= '0' && r <= '9')
 }

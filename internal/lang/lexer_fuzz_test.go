@@ -29,6 +29,35 @@ func TestLexerNeverPanics(t *testing.T) {
 	}
 }
 
+// FuzzLexer is the native fuzz entry over the lexer and parser: any
+// byte string must lex and parse to either a program or an error —
+// never a panic — and every program that parses must round-trip through
+// its String rendering. CI runs this for a short smoke
+// (-fuzz=FuzzLexer -fuzztime=10s); longer local runs grow the corpus.
+func FuzzLexer(f *testing.F) {
+	f.Add("real a(10)\na = a + 1\n")
+	f.Add("real a(100,100), v(200)\ndo k = 1, 100\n  a(k,1:100) = a(k,1:100) + v(k:k+99)\nenddo\n")
+	f.Add("real t(100), b(100,200)\ndo k = 1, 200\n  t = cos(t)\n  b = b + spread(t, 2, 200)\nenddo\n")
+	f.Add("real a(10), b(10)\nif (1 < 2) then\n  a = b\nelse\n  b = a\nendif\n")
+	f.Add("do k = 1, 10\nenddo\n")
+	f.Add("real a(4)\na = transpose(a) ~ 1\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src) // must not panic
+		if err != nil {
+			return
+		}
+		// Accepted programs must round-trip: the rendering reparses to the
+		// same shape.
+		p2, err := Parse(prog.String())
+		if err != nil {
+			t.Fatalf("accepted program failed to reparse:\n%s\nerr: %v", prog, err)
+		}
+		if len(prog.Stmts) != len(p2.Stmts) || len(prog.Decls) != len(p2.Decls) {
+			t.Errorf("round trip changed shape:\n%s\nvs\n%s", prog, p2)
+		}
+	})
+}
+
 // TestParserRoundTrips: parse → String → parse yields a structurally
 // equivalent program for representative sources.
 func TestParserRoundTrips(t *testing.T) {

@@ -46,6 +46,13 @@ func NewArena() *Arena { return &Arena{} }
 
 func (ar *Arena) reset() { ar.fi, ar.ii = 0, 0 }
 
+// Reset rewinds the arena so the next carve reuses its blocks from the
+// start. It is the pool-handoff point for arenas recycled across
+// solves (the batch engine's scratch pools): call it only once no live
+// tableau reads previously carved storage — every owning Problem is
+// dead or has dropped its basis — since later carves overwrite it.
+func (ar *Arena) Reset() { ar.reset() }
+
 // floats carves a zeroed []float64 of length n. Growth abandons the old
 // block (outstanding slices stay valid) and doubles, so a steady-state
 // workload allocates nothing.

@@ -26,6 +26,13 @@ go test ./...
 echo "== go test -race (align, lp, root)"
 go test -race ./internal/align/... ./internal/lp/... .
 
+echo "== go test -race (batch engine: cache, singleflight, scheduler)"
+go test -race -run 'TestCache|TestAlignSingleflight|TestScheduler|TestAlignBatch|TestScratch|TestBatchDeterminism' \
+    ./internal/align/ .
+
+echo "== fuzz smoke (lexer/parser, 10s)"
+go test -run='^$' -fuzz=FuzzLexer -fuzztime=10s ./internal/lang
+
 echo "== bench smoke (1x: benchmarks must build, run, and hold their gates)"
 go test -run=NONE -bench=. -benchtime=1x .
 

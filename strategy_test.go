@@ -1,0 +1,70 @@
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/build"
+	"repro/internal/lang"
+)
+
+// TestStrategyOrderingProperty is a randomized-property pin of the §4.2
+// quality ordering on mobile-offset problems: full unrolling solves the
+// offset LP exactly, so its cost lower-bounds fixed partitioning, and
+// fixed partitioning with m subranges is within the paper's 1 + 2/m²
+// factor of that optimum (22% for m = 3, 8% for m = 5). The programs
+// are generated from a fixed seed — loops whose mobile span has an
+// interior zero crossing, the regime where partition placement actually
+// matters — so the test is deterministic.
+func TestStrategyOrderingProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const programs = 10
+	for p := 0; p < programs; p++ {
+		k := 8 + rng.Intn(9)   // trip count 8..16
+		w := 10 + rng.Intn(15) // window width 10..24
+		c := rng.Intn(9)       // B's constant shift 0..8
+		z := 2 + rng.Intn(k-2) // zero crossing strictly inside 1..k
+		lo := c + z            // A's window start: span lo-(k+c) crosses 0 at k=z
+		src := fmt.Sprintf(`
+real A(%d), B(%d)
+do k = 1, %d
+  A(%d:%d) = A(%d:%d) + B(k+%d:k+%d)
+enddo
+`, lo+w+4, k+c+w+4, k, lo, lo+w-1, lo, lo+w-1, c, c+w-1)
+
+		info, err := lang.Analyze(lang.MustParse(src))
+		if err != nil {
+			t.Fatalf("program %d: %v", p, err)
+		}
+		g, err := build.Build(info)
+		if err != nil {
+			t.Fatalf("program %d: %v", p, err)
+		}
+		as, err := align.AxisStride(g)
+		if err != nil {
+			t.Fatalf("program %d: %v", p, err)
+		}
+		exact := func(s align.Strategy, m int) int64 {
+			off, err := align.Offsets(g, as, nil, align.OffsetOptions{Strategy: s, M: m})
+			if err != nil {
+				t.Fatalf("program %d, %s m=%d: %v", p, s, m, err)
+			}
+			return off.Exact
+		}
+		unroll := exact(align.StrategyUnroll, 3)
+		for _, m := range []int{3, 5} {
+			fixed := exact(align.StrategyFixed, m)
+			if fixed < unroll {
+				t.Errorf("program %d (k=%d w=%d c=%d z=%d): fixed m=%d cost %d < unroll cost %d — unroll must be optimal",
+					p, k, w, c, z, m, fixed, unroll)
+			}
+			bound := (1 + 2/float64(m*m)) * float64(unroll)
+			if float64(fixed) > bound {
+				t.Errorf("program %d (k=%d w=%d c=%d z=%d): fixed m=%d cost %d exceeds (1+2/m²)·unroll = %.1f (unroll %d)",
+					p, k, w, c, z, m, fixed, bound, unroll)
+			}
+		}
+	}
+}
