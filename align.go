@@ -19,6 +19,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -55,6 +56,12 @@ type Options struct {
 	// program skips every solver. Share one cache across AlignSource /
 	// AlignProgram calls; see NewCache.
 	Cache *Cache
+	// MaxLPIter, when > 0, caps the simplex pivots of every offset LP
+	// solve; a solve that exhausts the budget fails with an error
+	// wrapping lp.ErrBudget instead of spinning. 0 means a generous
+	// default derived from each LP's size, which well-posed programs
+	// never approach.
+	MaxLPIter int64
 }
 
 // Cache is a bounded content-addressed memo of pipeline results; see
@@ -84,15 +91,29 @@ type Result struct {
 
 // AlignSource parses, analyzes, builds the ADG, and aligns a program.
 func AlignSource(src string, opts Options) (*Result, error) {
+	return AlignSourceContext(context.Background(), src, opts)
+}
+
+// AlignSourceContext is AlignSource under a context: the solvers poll
+// ctx at their iteration boundaries (simplex pivots, DP sweeps,
+// refinement rounds) and a canceled or expired context aborts the
+// solve with an error wrapping ctx.Err() — never a partial result.
+func AlignSourceContext(ctx context.Context, src string, opts Options) (*Result, error) {
 	prog, err := lang.Parse(src)
 	if err != nil {
 		return nil, fmt.Errorf("parse: %w", err)
 	}
-	return AlignProgram(prog, opts)
+	return AlignProgramContext(ctx, prog, opts)
 }
 
 // AlignProgram aligns an already-parsed program.
 func AlignProgram(prog *lang.Program, opts Options) (*Result, error) {
+	return AlignProgramContext(context.Background(), prog, opts)
+}
+
+// AlignProgramContext is AlignProgram under a context (see
+// AlignSourceContext).
+func AlignProgramContext(ctx context.Context, prog *lang.Program, opts Options) (*Result, error) {
 	info, err := lang.Analyze(prog)
 	if err != nil {
 		return nil, fmt.Errorf("analyze: %w", err)
@@ -101,7 +122,7 @@ func AlignProgram(prog *lang.Program, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("build ADG: %w", err)
 	}
-	ar, err := align.Align(g, opts.alignOptions())
+	ar, err := align.AlignContext(ctx, g, opts.alignOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -125,6 +146,7 @@ func (o Options) alignOptions() align.Options {
 		Replication:       o.Replication,
 		ReplicationRounds: o.ReplicationRounds,
 		Cache:             o.Cache,
+		MaxLPIter:         o.MaxLPIter,
 	}
 }
 
@@ -138,6 +160,10 @@ type BatchOptions struct {
 	// The batch never runs programs × per-solve workers goroutines, and
 	// Options.Parallelism is ignored in favor of the lease.
 	Workers int
+	// SolveTimeout, when > 0, bounds each program's solve with its own
+	// deadline: a slot that exceeds it fails with an error wrapping
+	// context.DeadlineExceeded while the rest of the batch proceeds.
+	SolveTimeout time.Duration
 }
 
 // BatchResult is one slot of an AlignBatch: the aligned program or the
@@ -161,25 +187,65 @@ type BatchResult struct {
 // following the permutation): worker count only changes scheduling,
 // never results.
 func AlignBatch(srcs []string, opts Options, bopts BatchOptions) []BatchResult {
+	return AlignBatchContext(context.Background(), srcs, opts, bopts)
+}
+
+// AlignBatchContext is AlignBatch under a context. Once ctx dies, no
+// new slot starts and running solves abort at their next cancellation
+// check; slots never started report ctx.Err(). An already-canceled
+// context returns immediately with ctx.Err() in every slot.
+// BatchOptions.SolveTimeout additionally bounds each slot with its own
+// deadline.
+//
+// Every slot's pipeline — parsing through the solvers — runs under a
+// recover boundary: a program that panics inside the library reports a
+// *PanicError in its own slot (carrying the slot label and panic
+// value) while every other slot completes with results identical to a
+// batch without the offender.
+func AlignBatchContext(ctx context.Context, srcs []string, opts Options, bopts BatchOptions) []BatchResult {
 	out := make([]BatchResult, len(srcs))
 	if len(srcs) == 0 {
 		return out
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	aopts := opts.alignOptions()
 	if aopts.Cache == nil {
 		aopts.Cache = align.NewCache(len(srcs))
 	}
 	sched := align.NewScheduler(bopts.Workers)
-	sched.Map(len(srcs), func(i, lease int) {
-		out[i].Result, out[i].Err = alignLeased(sched, srcs[i], aopts, lease)
+	sched.MapContext(ctx, len(srcs), func(i, lease int) {
+		out[i].Result, out[i].Err = align.Protect(fmt.Sprintf("program %d", i), func() (*Result, error) {
+			slotCtx := ctx
+			if bopts.SolveTimeout > 0 {
+				var cancel context.CancelFunc
+				slotCtx, cancel = context.WithTimeout(ctx, bopts.SolveTimeout)
+				defer cancel()
+			}
+			return alignLeased(slotCtx, sched, srcs[i], aopts, lease)
+		})
 	})
+	// Slots the scheduler never dispatched (cancellation arrived first)
+	// report the batch context's error.
+	if err := ctx.Err(); err != nil {
+		for i := range out {
+			if out[i].Result == nil && out[i].Err == nil {
+				out[i].Err = err
+			}
+		}
+	}
 	return out
 }
+
+// PanicError is a library panic captured at the batch engine's
+// per-slot recover boundary; see AlignBatchContext.
+type PanicError = align.PanicError
 
 // alignLeased is the per-program body of AlignBatch: the full
 // source-to-cost pipeline with solver parallelism bounded by the
 // scheduler's lease.
-func alignLeased(sched *align.Scheduler, src string, aopts align.Options, lease int) (*Result, error) {
+func alignLeased(ctx context.Context, sched *align.Scheduler, src string, aopts align.Options, lease int) (*Result, error) {
 	prog, err := lang.Parse(src)
 	if err != nil {
 		return nil, fmt.Errorf("parse: %w", err)
@@ -192,7 +258,7 @@ func alignLeased(sched *align.Scheduler, src string, aopts align.Options, lease 
 	if err != nil {
 		return nil, fmt.Errorf("build ADG: %w", err)
 	}
-	ar, err := sched.AlignLeased(g, aopts, lease)
+	ar, err := sched.AlignLeasedContext(ctx, g, aopts, lease)
 	if err != nil {
 		return nil, err
 	}

@@ -8,20 +8,30 @@
 // Usage:
 //
 //	alignc [-strategy fixed|unroll|search|zerotrack|recursive] [-m N]
-//	       [-par N] [-cache] [-norepl] [-static] [-dot] [-sim] [-grid PxQ] file.dp
-//	alignc -batch 'progs/*.dp' [-workers N] [...]
+//	       [-par N] [-cache] [-norepl] [-static] [-dot] [-sim] [-grid PxQ]
+//	       [-timeout D] file.dp
+//	alignc -batch 'progs/*.dp' [-workers N] [-timeout D] [-deadline D] [...]
 //
 // With no file, the Figure 1 fragment from the paper is compiled. With
 // -batch, every file matching the glob is aligned under one global
 // worker budget (the batch engine: sharded result cache with
 // singleflight dedup plus a cooperative scheduler) and a per-file
 // summary with aggregate throughput is printed.
+//
+// -timeout bounds each solve and -deadline bounds the whole batch;
+// slots that miss their budget report per-file errors while the rest
+// complete. Interrupting a batch (Ctrl-C) drains gracefully: running
+// solves abort at their next cancellation check and the summary is
+// still printed for everything that finished.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -52,6 +62,8 @@ func main() {
 	top := flag.Int("top", 10, "edges to show in the cost report")
 	batch := flag.String("batch", "", "align every file matching the glob as one batch")
 	workers := flag.Int("workers", 0, "global worker budget for -batch (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "per-solve time budget (0 = none); a solve that exceeds it fails alone")
+	deadline := flag.Duration("deadline", 0, "whole-batch time budget for -batch (0 = none)")
 	flag.Parse()
 
 	src := fig1
@@ -81,15 +93,27 @@ func main() {
 		fatal(fmt.Errorf("unknown strategy %q", *strategy))
 	}
 
+	// Ctrl-C cancels the context: running solves abort at their next
+	// cancellation check instead of being killed mid-batch, and the batch
+	// summary still covers everything that finished. A second interrupt
+	// (after stop) kills the process the usual way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	if *batch != "" {
-		runBatch(*batch, opts, *workers)
+		runBatch(ctx, *batch, opts, *workers, *timeout, *deadline)
 		return
 	}
 
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	if *useCache {
 		opts.Cache = repro.NewCache(0)
 	}
-	res, err := repro.AlignSource(src, opts)
+	res, err := repro.AlignSourceContext(ctx, src, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -97,7 +121,7 @@ func main() {
 		// Compile the unchanged program again: the pipeline is served from
 		// the cache, which the report of the second result records.
 		t0 := time.Now()
-		res, err = repro.AlignSource(src, opts)
+		res, err = repro.AlignSourceContext(ctx, src, opts)
 		if err != nil {
 			fatal(err)
 		}
@@ -125,8 +149,12 @@ func main() {
 // runBatch aligns every file matching the glob under one worker budget
 // and prints a per-file summary plus aggregate throughput and cache
 // statistics. Files are sorted by name so the output (and the result
-// order) is deterministic regardless of filesystem enumeration.
-func runBatch(glob string, opts repro.Options, workers int) {
+// order) is deterministic regardless of filesystem enumeration. The
+// context carries the SIGINT drain; deadline (when > 0) additionally
+// bounds the whole batch and timeout bounds each solve. Interrupted or
+// expired runs still print the summary: completed slots report their
+// costs, canceled ones their errors.
+func runBatch(ctx context.Context, glob string, opts repro.Options, workers int, timeout, deadline time.Duration) {
 	files, err := filepath.Glob(glob)
 	if err != nil {
 		fatal(err)
@@ -146,13 +174,21 @@ func runBatch(glob string, opts repro.Options, workers int) {
 	if opts.Cache == nil {
 		opts.Cache = repro.NewCache(len(srcs))
 	}
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
 	t0 := time.Now()
-	results := repro.AlignBatch(srcs, opts, repro.BatchOptions{Workers: workers})
+	results := repro.AlignBatchContext(ctx, srcs, opts, repro.BatchOptions{Workers: workers, SolveTimeout: timeout})
 	elapsed := time.Since(t0)
-	failed := 0
+	failed, canceled := 0, 0
 	for i, br := range results {
 		if br.Err != nil {
 			failed++
+			if errors.Is(br.Err, context.Canceled) || errors.Is(br.Err, context.DeadlineExceeded) {
+				canceled++
+			}
 			fmt.Printf("%-30s ERROR %v\n", files[i], br.Err)
 			continue
 		}
@@ -169,6 +205,14 @@ func runBatch(glob string, opts repro.Options, workers int) {
 		float64(len(srcs))/elapsed.Seconds())
 	fmt.Printf("cache: %d pipeline executions, %d singleflight-shared, %d hits / %d misses, shard contention %d\n",
 		computes, shared, hits, misses, opts.Cache.Contention())
+	if err := ctx.Err(); err != nil {
+		reason := "canceled"
+		if errors.Is(err, context.DeadlineExceeded) {
+			reason = "deadline exceeded"
+		}
+		fmt.Fprintf(os.Stderr, "alignc: batch %s — %d of %d slots unfinished\n",
+			reason, canceled, len(srcs))
+	}
 }
 
 func parseGrid(s string, rank int) []int {

@@ -1,6 +1,7 @@
 package align
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -95,7 +96,7 @@ func TestCacheSingleflight(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			<-started
-			res, _, err := c.do("deadbeef", func() (*Result, error) {
+			res, _, err := c.do(context.Background(), "deadbeef", func() (*Result, error) {
 				calls.Add(1)
 				time.Sleep(20 * time.Millisecond) // let the others pile up
 				return want, nil
@@ -130,7 +131,7 @@ func TestCacheSingleflight(t *testing.T) {
 	// Errors are not cached: both calls compute.
 	boom := errors.New("boom")
 	for i := 0; i < 2; i++ {
-		_, _, err := c.do("facade", func() (*Result, error) {
+		_, _, err := c.do(context.Background(), "facade", func() (*Result, error) {
 			calls.Add(1)
 			return nil, boom
 		})

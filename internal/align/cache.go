@@ -2,6 +2,7 @@ package align
 
 import (
 	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -34,10 +35,14 @@ import (
 // onto their own graphs). FlightStats reports how many pipeline
 // executions ran and how many were collapsed.
 //
-// Eviction is LRU per shard with a fixed total capacity split evenly
-// across shards.
+// Eviction is LRU per shard with a fixed total capacity: the capacity
+// is split across the shards (remainder distributed one entry at a time
+// from shard 0), and a capacity below the shard count uses fewer shards
+// so every active shard holds at least one entry — the cache never
+// holds more than capacity results.
 type Cache struct {
-	shards [cacheShards]cacheShard
+	shards  [cacheShards]cacheShard
+	nshards int // active shards (min(cacheShards, capacity))
 
 	hits      atomic.Int64
 	misses    atomic.Int64
@@ -66,12 +71,14 @@ type cacheEntry struct {
 	res *Result
 }
 
-// flightCall is one in-flight pipeline execution; waiters block on wg
-// and read res/err after Done.
+// flightCall is one in-flight pipeline execution; waiters block on done
+// (or their own context) and read res/err after the channel closes. The
+// channel — rather than a WaitGroup — lets a waiter whose context dies
+// abandon the flight without disturbing the leader.
 type flightCall struct {
-	wg  sync.WaitGroup
-	res *Result
-	err error
+	done chan struct{}
+	res  *Result
+	err  error
 }
 
 // DefaultCacheCap is the entry capacity used when NewCache is given a
@@ -79,24 +86,37 @@ type flightCall struct {
 const DefaultCacheCap = 64
 
 // NewCache returns an empty cache holding at most capacity results
-// (DefaultCacheCap if capacity <= 0).
+// (DefaultCacheCap if capacity <= 0). The bound is strict: per-shard
+// capacities sum to exactly capacity — the remainder of the split is
+// distributed one entry at a time from shard 0, and a capacity below
+// the shard count shrinks the number of active shards instead of
+// rounding every shard up (which would let a capacity-1 cache hold 16
+// entries).
 func NewCache(capacity int) *Cache {
 	if capacity <= 0 {
 		capacity = DefaultCacheCap
 	}
-	perShard := (capacity + cacheShards - 1) / cacheShards
-	c := &Cache{}
-	for i := range c.shards {
-		c.shards[i].cap = perShard
+	nshards := cacheShards
+	if capacity < nshards {
+		nshards = capacity
+	}
+	base, rem := capacity/nshards, capacity%nshards
+	c := &Cache{nshards: nshards}
+	for i := 0; i < nshards; i++ {
+		c.shards[i].cap = base
+		if i < rem {
+			c.shards[i].cap++
+		}
 		c.shards[i].order = list.New()
-		c.shards[i].entries = make(map[string]*list.Element, perShard)
+		c.shards[i].entries = make(map[string]*list.Element, c.shards[i].cap)
 	}
 	return c
 }
 
 // shardFor selects the shard from the key's first hex digit (the high
-// nibble of the SHA-256). Non-hex first bytes (not produced by cacheKey,
-// but tolerated for direct get/put use in tests) fold by low bits.
+// nibble of the SHA-256), folded into the active shard count. Non-hex
+// first bytes (not produced by cacheKey, but tolerated for direct
+// get/put use in tests) fold by low bits.
 func (c *Cache) shardFor(key string) *cacheShard {
 	if len(key) == 0 {
 		return &c.shards[0]
@@ -110,7 +130,7 @@ func (c *Cache) shardFor(key string) *cacheShard {
 	default:
 		b &= cacheShards - 1
 	}
-	return &c.shards[b&(cacheShards-1)]
+	return &c.shards[int(b)%c.nshards]
 }
 
 // lock acquires the shard mutex, counting acquisitions that had to wait
@@ -125,7 +145,7 @@ func (s *cacheShard) lock(c *Cache) {
 // Len returns the number of cached results.
 func (c *Cache) Len() int {
 	n := 0
-	for i := range c.shards {
+	for i := 0; i < c.nshards; i++ {
 		s := &c.shards[i]
 		s.mu.Lock()
 		n += s.order.Len()
@@ -151,8 +171,8 @@ func (c *Cache) FlightStats() (computes, shared int64) {
 // another goroutine (a cheap proxy for cache lock contention).
 func (c *Cache) Contention() int64 { return c.contended.Load() }
 
-// Shards returns the number of independently locked LRU shards.
-func (c *Cache) Shards() int { return cacheShards }
+// Shards returns the number of active independently locked LRU shards.
+func (c *Cache) Shards() int { return c.nshards }
 
 // get returns the cached result for key (marking it most recently used)
 // or nil, updating the hit/miss counters. The hit path performs no
@@ -199,7 +219,15 @@ func (c *Cache) put(key string, res *Result) {
 // the cache (or to another caller's solve) and must be rehydrated.
 // Errors are not cached: every waiter of a failed flight receives the
 // error, and the next caller retries.
-func (c *Cache) do(key string, compute func() (*Result, error)) (res *Result, owned bool, err error) {
+//
+// A waiter whose ctx dies abandons the flight and returns ctx.Err()
+// immediately; the leader's solve is unaffected and its result still
+// lands in the cache for later callers. Flight cleanup runs in a defer,
+// so a compute that panics still wakes every waiter (with an error
+// carrying the panic value) and leaves the flight table clean before
+// the panic propagates to the leader's own recovery boundary — no
+// future caller of the key can block on a dead flight.
+func (c *Cache) do(ctx context.Context, key string, compute func() (*Result, error)) (res *Result, owned bool, err error) {
 	if hit := c.get(key); hit != nil {
 		return hit, false, nil
 	}
@@ -209,24 +237,41 @@ func (c *Cache) do(key string, compute func() (*Result, error)) (res *Result, ow
 	}
 	if call, ok := c.flights[key]; ok {
 		c.flightMu.Unlock()
-		call.wg.Wait()
-		c.shared.Add(1)
-		return call.res, false, call.err
+		var done <-chan struct{}
+		if ctx != nil {
+			done = ctx.Done()
+		}
+		select {
+		case <-call.done:
+			c.shared.Add(1)
+			return call.res, false, call.err
+		case <-done:
+			return nil, false, ctx.Err()
+		}
 	}
-	call := &flightCall{}
-	call.wg.Add(1)
+	call := &flightCall{done: make(chan struct{})}
 	c.flights[key] = call
 	c.flightMu.Unlock()
 
 	c.computes.Add(1)
+	completed := false
+	defer func() {
+		if !completed {
+			// compute panicked: record it for the waiters; the panic
+			// itself keeps unwinding past this defer to the leader's
+			// per-slot recover.
+			call.res, call.err = nil, fmt.Errorf("align: solve panicked for key %.12s…", key)
+		}
+		if call.err == nil {
+			c.put(key, call.res)
+		}
+		c.flightMu.Lock()
+		delete(c.flights, key)
+		c.flightMu.Unlock()
+		close(call.done)
+	}()
 	call.res, call.err = compute()
-	if call.err == nil {
-		c.put(key, call.res)
-	}
-	c.flightMu.Lock()
-	delete(c.flights, key)
-	c.flightMu.Unlock()
-	call.wg.Done()
+	completed = true
 	return call.res, true, call.err
 }
 

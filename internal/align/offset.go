@@ -1,6 +1,7 @@
 package align
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -74,10 +75,19 @@ type OffsetOptions struct {
 	// mean GOMAXPROCS. The result is identical for every setting: each
 	// axis solves into its own result and the merge is in axis order.
 	Parallelism int
+	// MaxIter caps the simplex iterations of each LP solve
+	// (lp.Options.MaxIter); values <= 0 derive the budget from the
+	// problem size. Exhaustion fails the solve with lp.ErrBudget.
+	MaxIter int64
 
 	// scratch, when non-nil, recycles tableau arenas across solves.
 	// Threaded in by the pipeline from Options.scratch.
 	scratch *scratchPool
+
+	// ctx, when non-nil, cancels the solve between refinement rounds and
+	// (amortized) inside simplex iterations. Threaded in by the pipeline
+	// from Options.ctx.
+	ctx context.Context
 }
 
 func (o OffsetOptions) withDefaults() OffsetOptions {
@@ -179,6 +189,14 @@ func (ax *axisSolver) newTheta(prob *lp.Problem, e *adg.Edge) lp.VarID {
 	return th
 }
 
+// ctxErr returns the solve's cancellation error, or nil.
+func (ax *axisSolver) ctxErr() error {
+	if ax.opts.ctx == nil {
+		return nil
+	}
+	return ax.opts.ctx.Err()
+}
+
 // liveEdge reports whether the edge contributes offset cost on this axis:
 // edges with a replicated endpoint are discarded (§5.1 — a replicated
 // tail needs no communication; a replicated head costs the same
@@ -196,6 +214,9 @@ func (ax *axisSolver) solve(res *OffsetResult) error {
 		rounds = ax.opts.MaxRefine
 	}
 	for round := 0; round < rounds; round++ {
+		if err := ax.ctxErr(); err != nil {
+			return err
+		}
 		var err error
 		coefs, obj, err = ax.solveRLP(parts, res)
 		if err != nil {
@@ -218,7 +239,10 @@ func (ax *axisSolver) solve(res *OffsetResult) error {
 	if ax.opts.Strategy == StrategySingle {
 		ax.steepestDescent(res, ints)
 	}
-	return nil
+	// A cancellation that arrived mid-descent left a feasible but
+	// partially optimized labeling; report it as an error so a canceled
+	// solve never delivers a result that differs from an uncanceled one.
+	return ax.ctxErr()
 }
 
 // initialPartitions builds the per-edge subrange decomposition of the
@@ -283,6 +307,7 @@ func (ax *axisSolver) buildRLP(parts map[int][]space.Space) (*lp.Problem, map[co
 	}
 	prob.SetArena(ax.arena)
 	prob.SetStats(ax.stats)
+	prob.SetOptions(lp.Options{MaxIter: ax.opts.MaxIter, Ctx: ax.opts.ctx})
 	if ax.warmAll {
 		ax.thetas = map[int][]lp.VarID{}
 	}
@@ -841,6 +866,9 @@ func (ax *axisSolver) store(res *OffsetResult, ints map[coefKey]int64) {
 func (ax *axisSolver) steepestDescent(res *OffsetResult, ints map[coefKey]int64) {
 	cur := ExactOffsetCostAxis(ax.g, ax.repl, res.Offsets, ax.axis)
 	for pass := 0; pass < 10; pass++ {
+		if ax.ctxErr() != nil {
+			return // descent only improves an already-feasible solution
+		}
 		improved := false
 		for _, n := range ax.g.Nodes {
 			coeffs := map[string]bool{"": true}

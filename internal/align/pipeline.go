@@ -1,6 +1,7 @@
 package align
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -31,9 +32,28 @@ type Options struct {
 	// See NewCache.
 	Cache *Cache
 
+	// MaxLPIter caps the simplex iterations of each LP solve of the §4
+	// offset phase (lp.Options.MaxIter); values <= 0 derive the budget
+	// from the problem size. A solve that exhausts the budget fails with
+	// lp.ErrBudget instead of spinning.
+	MaxLPIter int64
+
 	// scratch, when non-nil, recycles per-solve solver state (intern
 	// tables, tableau arenas). Set by the batch engine's scheduler.
 	scratch *scratchPool
+
+	// ctx, when non-nil, cancels the pipeline: it is observed between
+	// phases, between DP sweeps, between LP refinement rounds, and
+	// (amortized) inside simplex iterations. Set by AlignContext.
+	ctx context.Context
+}
+
+// ctxErr returns the pipeline's cancellation error, or nil.
+func (o *Options) ctxErr() error {
+	if o.ctx == nil {
+		return nil
+	}
+	return o.ctx.Err()
 }
 
 // PhaseTimes is the wall time of each pipeline phase.
@@ -67,6 +87,23 @@ type Result struct {
 // by min-cut (§5), and mobile offset alignment by rounded linear
 // programming (§4), iterating the last two until quiescence (§6).
 func Align(g *adg.Graph, opts Options) (*Result, error) {
+	return AlignContext(context.Background(), g, opts)
+}
+
+// AlignContext is Align under a context: cancellation or deadline
+// expiry aborts the pipeline between phases, between DP sweeps, between
+// LP refinement rounds, and (amortized) inside simplex iterations,
+// returning an error satisfying errors.Is on ctx.Err(). A canceled
+// waiter of a singleflight miss abandons the flight without disturbing
+// the leader's solve.
+func AlignContext(ctx context.Context, g *adg.Graph, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	opts.ctx = ctx
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if opts.ReplicationRounds <= 0 {
 		opts.ReplicationRounds = 2
 	}
@@ -77,7 +114,7 @@ func Align(g *adg.Graph, opts Options) (*Result, error) {
 	// rebound to g; concurrent misses on the same content key run the
 	// pipeline once — the leader's result is already bound to its own
 	// graph, every waiter rehydrates the shared result onto theirs.
-	res, owned, err := opts.Cache.do(cacheKey(g, opts), func() (*Result, error) {
+	res, owned, err := opts.Cache.do(ctx, cacheKey(g, opts), func() (*Result, error) {
 		return alignUncached(g, opts)
 	})
 	if err != nil {
@@ -94,13 +131,19 @@ func Align(g *adg.Graph, opts Options) (*Result, error) {
 func alignUncached(g *adg.Graph, opts Options) (*Result, error) {
 	var times PhaseTimes
 	opts.AxisStride.scratch = opts.scratch
+	opts.AxisStride.ctx = opts.ctx
 	opts.Offset.scratch = opts.scratch
+	opts.Offset.ctx = opts.ctx
+	opts.Offset.MaxIter = opts.MaxLPIter
 	t0 := time.Now()
 	as, err := AxisStrideOpts(g, opts.AxisStride)
 	if err != nil {
 		return nil, fmt.Errorf("align: axis/stride phase: %w", err)
 	}
 	times.AxisStride = time.Since(t0)
+	if err := opts.ctxErr(); err != nil {
+		return nil, err
+	}
 	repl := NoReplication(g)
 	var off *OffsetResult
 	if opts.Replication {
@@ -112,6 +155,9 @@ func alignUncached(g *adg.Graph, opts Options) (*Result, error) {
 		defer solver.releaseScratch()
 		var mobile MobilePredicate
 		for round := 0; round < opts.ReplicationRounds; round++ {
+			if err := opts.ctxErr(); err != nil {
+				return nil, err
+			}
 			t0 = time.Now()
 			repl, err = Replicate(g, as, mobile)
 			if err != nil {

@@ -1,6 +1,7 @@
 package align
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -67,6 +68,44 @@ func (s *Scheduler) acquire(n int) {
 	s.mu.Unlock()
 }
 
+// acquireCtx is acquire that gives up when ctx dies while waiting for
+// budget, returning ctx.Err() without claiming anything. A watcher
+// broadcasts the condition variable on cancellation so a blocked
+// waiter re-checks the context instead of sleeping forever.
+func (s *Scheduler) acquireCtx(ctx context.Context, n int) error {
+	if ctx == nil || ctx.Done() == nil {
+		s.acquire(n)
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	stop := context.AfterFunc(ctx, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.avail < n {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		s.cond.Wait()
+	}
+	s.avail -= n
+	return nil
+}
+
+// runJob runs one job under its lease with the release deferred, so a
+// panicking job returns its workers to the budget before the panic
+// propagates — a shared scheduler's budget never shrinks.
+func (s *Scheduler) runJob(i, lease int, job func(i, lease int)) {
+	defer s.release(lease)
+	job(i, lease)
+}
+
 // release returns n workers to the budget.
 func (s *Scheduler) release(n int) {
 	s.mu.Lock()
@@ -83,8 +122,24 @@ func (s *Scheduler) release(n int) {
 // is the caller's: jobs write to their own index, so the output order
 // is the input order regardless of completion order.
 func (s *Scheduler) Map(n int, job func(i, lease int)) {
+	s.MapContext(context.Background(), n, job)
+}
+
+// MapContext is Map under a context: once ctx dies, no further job is
+// dispatched (jobs already running finish on their own — they observe
+// the same context through their own plumbing) and MapContext returns
+// ctx.Err(); indices never dispatched simply see no job call, so the
+// caller can mark their slots from the returned error. Lease release
+// is deferred around every job, so a panicking job returns its workers
+// to the budget before the panic propagates. MapContext itself never
+// blocks on budget after cancellation: waiters inside acquire give up
+// when ctx dies.
+func (s *Scheduler) MapContext(ctx context.Context, n int, job func(i, lease int)) error {
 	if n <= 0 {
-		return
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	lease := s.lease(n)
 	runners := s.budget / lease
@@ -93,11 +148,12 @@ func (s *Scheduler) Map(n int, job func(i, lease int)) {
 	}
 	if runners <= 1 {
 		for i := 0; i < n; i++ {
-			s.acquire(lease)
-			job(i, lease)
-			s.release(lease)
+			if err := s.acquireCtx(ctx, lease); err != nil {
+				return err
+			}
+			s.runJob(i, lease, job)
 		}
-		return
+		return ctx.Err()
 	}
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -106,15 +162,23 @@ func (s *Scheduler) Map(n int, job func(i, lease int)) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				s.acquire(lease)
-				job(i, lease)
-				s.release(lease)
+				if s.acquireCtx(ctx, lease) != nil {
+					return // canceled while waiting for budget
+				}
+				s.runJob(i, lease, job)
 			}
 		}()
 	}
+	done := ctx.Done()
+dispatch:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-done:
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
+	return ctx.Err()
 }

@@ -189,5 +189,7 @@ func (st *axisState) solve(res *OffsetResult) error {
 	if ax.opts.Strategy == StrategySingle {
 		ax.steepestDescent(res, ints)
 	}
-	return nil
+	// See axisSolver.solve: surface a mid-descent cancellation instead of
+	// delivering a partially optimized labeling as success.
+	return ax.ctxErr()
 }

@@ -1,6 +1,9 @@
 package lp
 
-import "time"
+import (
+	"fmt"
+	"time"
+)
 
 // Stats accumulates solver effort across Solve/WarmSolve calls on every
 // problem it is attached to (SetStats). It is not safe for concurrent
@@ -151,8 +154,14 @@ func (p *Problem) WarmSolve() (*Solution, error) {
 			cost[j] = inf
 		}
 	}
+	maxIter, ctx := p.budget(len(ws.a), ws.nTotal)
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrCanceled, err)
+		}
+	}
 	t0 := now()
-	_, piv, err := simplex(ws.a, ws.b, ws.b2, ws.basis, cost, ws.artIdx)
+	_, piv, err := simplex(ws.a, ws.b, ws.b2, ws.basis, cost, ws.artIdx, maxIter, ctx)
 	if p.stats != nil {
 		p.stats.WarmSolves++
 		p.stats.Pivots += piv

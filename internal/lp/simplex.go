@@ -7,6 +7,7 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -52,7 +53,39 @@ type Problem struct {
 	stats *Stats     // optional effort accounting
 	keep  bool       // retain the final tableau for WarmSolve
 	ws    *warmState // retained tableau of the last Solve when keep
+	opt   Options    // solve limits (iteration budget, cancellation)
 }
+
+// Options bounds a solve so the simplex can always be stopped: an
+// explicit pivot-iteration budget and a context whose cancellation or
+// deadline aborts the solve between pivots. The zero value means
+// "derive the budget from the problem size, never check a context".
+type Options struct {
+	// MaxIter caps the simplex iterations of each phase of one solve.
+	// Values <= 0 derive a budget from the problem size (see
+	// defaultMaxIter); the simplex then returns ErrBudget instead of
+	// spinning on a cycling or numerically stuck tableau.
+	MaxIter int64
+	// Ctx, when non-nil, is polled (amortized every iterCheckStride
+	// iterations) and aborts the solve with an error wrapping both
+	// ErrCanceled and ctx.Err() once it is done.
+	Ctx context.Context
+}
+
+// SetOptions attaches solve limits; the zero Options restores defaults.
+func (p *Problem) SetOptions(o Options) { p.opt = o }
+
+// defaultMaxIter is the iteration budget derived from the tableau size
+// when Options.MaxIter is unset: generous against the pivot counts of
+// well-posed problems (typically O(m+n)) while still bounding a
+// degenerate cycle or numerically stuck solve.
+func defaultMaxIter(m, n int) int64 {
+	return 10000 + 200*int64(m+n)
+}
+
+// iterCheckStride is how many simplex iterations pass between context
+// polls (amortizing the atomic load in ctx.Err over cheap pivots).
+const iterCheckStride = 64
 
 var inf = math.Inf(1)
 
@@ -67,6 +100,15 @@ var ErrInfeasible = errors.New("lp: infeasible")
 
 // ErrUnbounded is returned when the objective can decrease without bound.
 var ErrUnbounded = errors.New("lp: unbounded")
+
+// ErrBudget is returned when a solve exhausts its iteration budget
+// (Options.MaxIter, or the size-derived default).
+var ErrBudget = errors.New("lp: iteration budget exhausted")
+
+// ErrCanceled is returned (wrapping the context's error, so
+// errors.Is(err, context.Canceled) and context.DeadlineExceeded both
+// work) when Options.Ctx is done before the solve completes.
+var ErrCanceled = errors.New("lp: canceled")
 
 // NewProblem returns an empty minimization problem.
 func NewProblem() *Problem { return &Problem{} }
@@ -135,6 +177,7 @@ func (p *Problem) Solve() (*Solution, error) {
 	}
 	ps.reduced.arena = p.arena
 	ps.reduced.stats = p.stats
+	ps.reduced.opt = p.opt
 	sol, err := ps.reduced.solveRaw()
 	if err != nil {
 		return nil, err
@@ -271,9 +314,15 @@ func (p *Problem) solveRaw() (*Solution, error) {
 	if p.stats != nil {
 		p.stats.Solves++
 	}
+	maxIter, ctx := p.budget(m, nTotal)
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrCanceled, err)
+		}
+	}
 	if anyArt {
 		t0 := now()
-		_, piv, err := simplex(a, b, b2, basis, phase1Cost, nTotal)
+		_, piv, err := simplex(a, b, b2, basis, phase1Cost, nTotal, maxIter, ctx)
 		if p.stats != nil {
 			p.stats.Pivots += piv
 			p.stats.Phase1 += since(t0)
@@ -321,7 +370,7 @@ func (p *Problem) solveRaw() (*Solution, error) {
 		}
 	}
 	t0 := now()
-	_, piv, err := simplex(a, b, b2, basis, cost, artIdx)
+	_, piv, err := simplex(a, b, b2, basis, cost, artIdx, maxIter, ctx)
 	if p.stats != nil {
 		p.stats.Pivots += piv
 		p.stats.Phase2 += since(t0)
@@ -357,12 +406,24 @@ func (p *Problem) extract(cols []colref, nStruct int, basis []int, b2 []float64)
 	return &Solution{Objective: obj, values: values}
 }
 
+// budget resolves the effective per-phase iteration cap and context of
+// one solve from the problem's Options and the tableau dimensions.
+func (p *Problem) budget(m, n int) (int64, context.Context) {
+	maxIter := p.opt.MaxIter
+	if maxIter <= 0 {
+		maxIter = defaultMaxIter(m, n)
+	}
+	return maxIter, p.opt.Ctx
+}
+
 // simplex runs the primal simplex on the tableau (a|b) with the given
 // basis, minimizing costᵀx. Only columns < limit may enter the basis.
 // b2 is the unperturbed RHS, carried through the same pivots. It returns
 // the optimal objective value (w.r.t. the perturbed RHS) and the number
-// of pivots performed.
-func simplex(a [][]float64, b, b2 []float64, basis []int, cost []float64, limit int) (float64, int64, error) {
+// of pivots performed. maxIter bounds the iterations (ErrBudget beyond);
+// ctx, when non-nil, is polled every iterCheckStride iterations and
+// aborts with ErrCanceled wrapping ctx.Err().
+func simplex(a [][]float64, b, b2 []float64, basis []int, cost []float64, limit int, maxIter int64, ctx context.Context) (float64, int64, error) {
 	m := len(a)
 	if m == 0 {
 		return 0, 0, nil
@@ -412,11 +473,16 @@ func simplex(a [][]float64, b, b2 []float64, basis []int, cost []float64, limit 
 	looseEps := 1e-5 * scale
 	skip := make([]bool, n)
 	fresh := true // z was just repriced from scratch
-	for iter := 0; ; iter++ {
-		if iter > 200000 {
-			return 0, pivots, errors.New("lp: iteration limit exceeded")
+	for iter := int64(0); ; iter++ {
+		if iter >= maxIter {
+			return 0, pivots, fmt.Errorf("%w after %d iterations (m=%d n=%d)", ErrBudget, iter, m, n)
 		}
-		if iter%64 == 63 {
+		if iter%iterCheckStride == iterCheckStride-1 {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return 0, pivots, fmt.Errorf("%w: %w", ErrCanceled, err)
+				}
+			}
 			reprice()
 			fresh = true
 		}
