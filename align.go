@@ -288,8 +288,9 @@ func (r *Result) Report() string {
 		r.Align.Offset.LPVariables, r.Align.Offset.LPConstraints,
 		r.Align.Offset.Solves, r.Align.Offset.Approx)
 	st := r.Align.Offset.Stats
-	fmt.Fprintf(&b, "LP effort: %d cold + %d warm solves, %d pivots, phase1 %s, phase2 %s\n",
-		st.Solves, st.WarmSolves, st.Pivots,
+	fmt.Fprintf(&b, "LP effort: %d cold + %d warm + %d network solves (%d sparse), %d pivots, %d refactors, %d augments, phase1 %s, phase2 %s\n",
+		st.Solves, st.WarmSolves, st.NetSolves, st.SparseSolves,
+		st.Pivots, st.Refactors, st.Augments,
 		st.Phase1.Round(time.Microsecond), st.Phase2.Round(time.Microsecond))
 	t := r.Align.Times
 	fmt.Fprintf(&b, "phase times: axis/stride %s, replication %s, offsets %s\n",

@@ -12,6 +12,7 @@ import (
 	"repro/internal/build"
 	"repro/internal/expr"
 	"repro/internal/lang"
+	"repro/internal/lp"
 	"repro/internal/machine"
 	"repro/internal/netflow"
 	"repro/internal/space"
@@ -625,6 +626,63 @@ func BenchmarkAxisStride(b *testing.B) {
 					speedup, legacy, interned)
 			}
 		})
+	}
+}
+
+// BenchmarkOffsetSolver — the two-tier offset LP engine against the
+// retained dense tableau on the cold offsets phase of the rank4-dp
+// workload (the §4 RLPs there are large and sparse, so EngineAuto
+// selects the sparse revised simplex on every axis). ns/op times the
+// production (auto) engine; the speedup metric is gated ≥ 3×. Both
+// runs share graph construction and axis/stride alignment, so the
+// ratio isolates the LP cores. Engine-invariant output is asserted by
+// TestOffsetEngineDeterminism and TestDifferentialEngines.
+func BenchmarkOffsetSolver(b *testing.B) {
+	g := buildGraph(b, axisHeavySrc)
+	as, err := align.AxisStride(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	repl := align.NoReplication(g)
+	solve := func(eng lp.Engine) (*align.OffsetResult, error) {
+		return align.Offsets(g, as, repl, align.OffsetOptions{
+			Strategy: align.StrategyFixed, M: 3, Engine: eng,
+		})
+	}
+	var denseRes, autoRes *align.OffsetResult
+	dense := minTime(b, 3, 2, func() error {
+		r, err := solve(lp.EngineDense)
+		denseRes = r
+		return err
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := solve(lp.EngineAuto)
+		if err != nil {
+			b.Fatal(err)
+		}
+		autoRes = r
+	}
+	b.StopTimer()
+	auto := minTime(b, 3, 2, func() error {
+		r, err := solve(lp.EngineAuto)
+		autoRes = r
+		return err
+	})
+	objTol := 1e-6 * (1 + denseRes.Approx)
+	if denseRes.Exact != autoRes.Exact || denseRes.Approx-autoRes.Approx > objTol ||
+		autoRes.Approx-denseRes.Approx > objTol {
+		b.Fatalf("engines disagree: dense exact=%d approx=%g, auto exact=%d approx=%g",
+			denseRes.Exact, denseRes.Approx, autoRes.Exact, autoRes.Approx)
+	}
+	speedup := float64(dense) / float64(auto)
+	b.ReportMetric(speedup, "speedup-vs-dense")
+	b.ReportMetric(float64(autoRes.Stats.SparseSolves), "sparse-solves")
+	b.ReportMetric(float64(autoRes.Stats.Pivots), "pivots")
+	b.ReportMetric(float64(autoRes.Stats.Refactors), "refactors")
+	if speedup < 3 {
+		b.Errorf("offset LP engine speedup %.2fx < 3x over dense tableau on rank4-dp (dense %v, auto %v)",
+			speedup, dense, auto)
 	}
 }
 

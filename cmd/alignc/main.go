@@ -9,7 +9,7 @@
 //
 //	alignc [-strategy fixed|unroll|search|zerotrack|recursive] [-m N]
 //	       [-par N] [-cache] [-norepl] [-static] [-dot] [-sim] [-grid PxQ]
-//	       [-timeout D] file.dp
+//	       [-timeout D] [-cpuprofile F] [-memprofile F] file.dp
 //	alignc -batch 'progs/*.dp' [-workers N] [-timeout D] [-deadline D] [...]
 //
 // With no file, the Figure 1 fragment from the paper is compiled. With
@@ -33,6 +33,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -64,7 +66,36 @@ func main() {
 	workers := flag.Int("workers", 0, "global worker budget for -batch (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "per-solve time budget (0 = none); a solve that exceeds it fails alone")
 	deadline := flag.Duration("deadline", 0, "whole-batch time budget for -batch (0 = none)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit (pprof format)")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // flush recently freed objects so the profile reflects live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	src := fig1
 	if flag.NArg() > 0 {

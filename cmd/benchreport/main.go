@@ -1,4 +1,4 @@
-// Command benchreport runs the experiment suite (the E1–E12 table of
+// Command benchreport runs the experiment suite (the E1–E14 table of
 // DESIGN.md) directly — without the testing harness — and prints the
 // paper-vs-measured comparison rows recorded in EXPERIMENTS.md. Alongside
 // the text report it writes a machine-readable perf snapshot (phase
@@ -19,6 +19,7 @@ import (
 	"repro/internal/build"
 	"repro/internal/expr"
 	"repro/internal/lang"
+	"repro/internal/lp"
 	"repro/internal/machine"
 	"repro/internal/space"
 )
@@ -38,6 +39,7 @@ func main() {
 	e11()
 	snap := e12()
 	snap.Batch = e13()
+	snap.OffsetEngine = e14()
 	if *jsonPath != "" {
 		writeSnapshot(*jsonPath, snap)
 	}
@@ -60,6 +62,21 @@ const fig1 = `
 real A(100,100), V(200)
 do k = 1, 100
   A(k,1:100) = A(k,1:100) + V(k:k+99)
+enddo
+`
+
+// dpSrc is the rank4-dp workload: four template axes, big sections,
+// transposes, and LIV-indexed reads, so both the DP (E12) and the
+// offset RLPs (E14) are heavy. BenchmarkOffsetSolver gates the same
+// program.
+const dpSrc = `
+real A(64,64,64,64), B(128,128,128,128), C(64,64), D(64,64), V(64)
+do k = 1, 16
+  A(1:64,1:64,1:64,1:64) = A(1:64,1:64,1:64,1:64) + B(2:128:2,2:128:2,2:128:2,2:128:2)
+  C = C + transpose(D)
+  D = transpose(C)
+  V = V + A(1:64,k,k,k)
+  C(1:64,k) = V
 enddo
 `
 
@@ -215,19 +232,22 @@ enddo
 // an old binary can never silently downgrade the perf record.
 //
 // History: v1 (implicit 0/absent) — PR 2's workloads + cache record;
-// v2 — adds schema_version itself and the E13 batch-throughput row.
-const schemaVersion = 2
+// v2 — adds schema_version itself and the E13 batch-throughput row;
+// v3 — per-solver LP breakdown (sparse solves, network solves, flow
+// augmentations, refactorizations) and the E14 offset-engine rows.
+const schemaVersion = 3
 
 // Snapshot is the machine-readable record benchreport writes alongside
 // the text report, so the perf trajectory (phase times, DP and LP effort,
 // cache behavior, batch throughput) is tracked from PR 2 onward.
 type Snapshot struct {
-	SchemaVersion int                `json:"schema_version"`
-	GeneratedUnix int64              `json:"generated_unix"`
-	GoMaxProcs    int                `json:"gomaxprocs"`
-	Workloads     []WorkloadSnapshot `json:"workloads"`
-	Cache         CacheSnapshot      `json:"cache"`
-	Batch         BatchSnapshot      `json:"batch"`
+	SchemaVersion int                    `json:"schema_version"`
+	GeneratedUnix int64                  `json:"generated_unix"`
+	GoMaxProcs    int                    `json:"gomaxprocs"`
+	Workloads     []WorkloadSnapshot     `json:"workloads"`
+	Cache         CacheSnapshot          `json:"cache"`
+	Batch         BatchSnapshot          `json:"batch"`
+	OffsetEngine  []OffsetEngineSnapshot `json:"offset_engine"`
 }
 
 // WorkloadSnapshot is one program's pipeline profile.
@@ -257,11 +277,37 @@ type DPSnapshot struct {
 	ExpansionAccepts int64 `json:"expansion_accepts"`
 }
 
-// LPSnapshot is the §4 offset-LP effort.
+// LPSnapshot is the §4 offset-LP effort with the per-solver breakdown
+// of the two-tier engine: how many solves ran on the sparse revised
+// simplex (refactors count its basis rebuilds) and how many were
+// answered by the network-dual fast path (augments are its flow
+// augmentations — the analogue of pivots).
 type LPSnapshot struct {
-	Solves     int   `json:"solves"`
-	WarmSolves int   `json:"warm_solves"`
-	Pivots     int64 `json:"pivots"`
+	Solves       int   `json:"solves"`
+	WarmSolves   int   `json:"warm_solves"`
+	SparseSolves int   `json:"sparse_solves"`
+	NetSolves    int   `json:"net_solves"`
+	Pivots       int64 `json:"pivots"`
+	Augments     int64 `json:"augments"`
+	Refactors    int64 `json:"refactors"`
+}
+
+// OffsetEngineSnapshot is one E14 row: the cold offsets phase of a
+// workload under the forced dense tableau (network path disabled)
+// versus the production engine. NetSolves/Augments are the production
+// run's flow-path activity: zero on looped workloads (their mobile
+// RLPs carry free per-LIV coefficient unknowns the flow model cannot
+// express), all of the solves on straight-line programs like shift2d.
+type OffsetEngineSnapshot struct {
+	Name         string  `json:"name"`
+	DenseNs      int64   `json:"dense_ns"`
+	AutoNs       int64   `json:"auto_ns"`
+	Speedup      float64 `json:"speedup"`
+	SparseSolves int     `json:"sparse_solves"`
+	Pivots       int64   `json:"pivots"`
+	Refactors    int64   `json:"refactors"`
+	NetSolves    int     `json:"net_solves"`
+	Augments     int64   `json:"augments"`
 }
 
 // CacheSnapshot is the pipeline cache behavior of the E12 run.
@@ -296,16 +342,6 @@ type BatchSnapshot struct {
 // snapshot for BENCH_align.json.
 func e12() Snapshot {
 	snap := Snapshot{SchemaVersion: schemaVersion, GeneratedUnix: time.Now().Unix(), GoMaxProcs: runtime.GOMAXPROCS(0)}
-	dpSrc := `
-real A(64,64,64,64), B(128,128,128,128), C(64,64), D(64,64), V(64)
-do k = 1, 16
-  A(1:64,1:64,1:64,1:64) = A(1:64,1:64,1:64,1:64) + B(2:128:2,2:128:2,2:128:2,2:128:2)
-  C = C + transpose(D)
-  D = transpose(C)
-  V = V + A(1:64,k,k,k)
-  C(1:64,k) = V
-enddo
-`
 	workloads := []struct{ name, src string }{
 		{"fig1", fig1},
 		{"rank4-dp", dpSrc},
@@ -350,7 +386,11 @@ enddo
 				Sweeps: dp.Sweeps, Moves: dp.Moves, Evals: dp.Evals,
 				ExpansionAccepts: dp.ExpansionAccepts,
 			},
-			LP:     LPSnapshot{Solves: lp.Solves, WarmSolves: lp.WarmSolves, Pivots: lp.Pivots},
+			LP: LPSnapshot{
+				Solves: lp.Solves, WarmSolves: lp.WarmSolves,
+				SparseSolves: lp.SparseSolves, NetSolves: lp.NetSolves,
+				Pivots: lp.Pivots, Augments: lp.Augments, Refactors: lp.Refactors,
+			},
 			ColdNs: int64(coldT),
 		})
 	}
@@ -454,6 +494,68 @@ func e13() BatchSnapshot {
 		fail(fmt.Errorf("E13: duplicate batch ran %d pipeline executions, want %d", computes, len(unique)))
 	}
 	return snap
+}
+
+// shift2dSrc is a straight-line (LIV-free) 2D shift program: every
+// per-axis offset RLP is network-shaped, so the production engine
+// answers all of them on the network-dual flow path without running
+// any simplex.
+const shift2dSrc = `
+real A(100,100), B(100,100), C(100,100)
+A(1:98,1:98) = B(3:100,2:99) + C(2:99,3:100)
+C(1:98,1:98) = A(2:99,2:99) * 2
+B(1:98,1:98) = A(1:98,1:98) + C(1:98,1:98)
+`
+
+// e14 measures the two-tier offset LP engine: the cold offsets phase
+// under the forced dense tableau with the network path disabled (the
+// pre-PR baseline) versus the production engine — the sparse revised
+// simplex takes the large rank4-dp RLPs, the network-dual flow path
+// takes the straight-line shift2d ones, and small problems like fig1
+// legitimately stay on the dense tableau. The ≥3× rank4-dp speedup is
+// additionally gated by BenchmarkOffsetSolver; this records the
+// measured ratio in BENCH_align.json.
+func e14() []OffsetEngineSnapshot {
+	var out []OffsetEngineSnapshot
+	for _, w := range []struct{ name, src string }{
+		{"fig1", fig1}, {"rank4-dp", dpSrc}, {"shift2d", shift2dSrc},
+	} {
+		g := build.MustBuild(lang.MustAnalyze(lang.MustParse(w.src)))
+		as, err := align.AxisStride(g)
+		if err != nil {
+			fail(err)
+		}
+		repl := align.NoReplication(g)
+		solve := func(opts align.OffsetOptions) (*align.OffsetResult, time.Duration) {
+			var res *align.OffsetResult
+			t := timeIt(func() {
+				r, err := align.Offsets(g, as, repl, opts)
+				if err != nil {
+					fail(err)
+				}
+				res = r
+			})
+			return res, t
+		}
+		base := align.OffsetOptions{Strategy: align.StrategyFixed, M: 3}
+		denseOpts := base
+		denseOpts.Engine = lp.EngineDense
+		denseOpts.NoNetPath = true
+		_, denseT := solve(denseOpts)
+		auto, autoT := solve(base)
+		speedup := float64(denseT) / float64(autoT)
+		st := auto.Stats
+		out = append(out, OffsetEngineSnapshot{
+			Name: w.name, DenseNs: int64(denseT), AutoNs: int64(autoT), Speedup: speedup,
+			SparseSolves: st.SparseSolves, Pivots: st.Pivots, Refactors: st.Refactors,
+			NetSolves: st.NetSolves, Augments: st.Augments,
+		})
+		row("E14/perf", w.name+" offsets, dense tableau", "pre-PR baseline", denseT.Round(time.Microsecond))
+		row("E14/perf", w.name+" offsets, two-tier engine", "≥3x on rank4-dp",
+			fmt.Sprintf("%v (%.1fx, %d sparse solves, %d net solves, %d pivots, %d augments, %d refactors)",
+				autoT.Round(time.Microsecond), speedup, st.SparseSolves, st.NetSolves, st.Pivots, st.Augments, st.Refactors))
+	}
+	return out
 }
 
 func timeIt(f func()) time.Duration {

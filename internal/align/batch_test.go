@@ -40,9 +40,12 @@ func TestCacheGetZeroAlloc(t *testing.T) {
 }
 
 // TestCacheShardingAndEviction checks that keys spread over every shard
-// by their first hex digit, that capacity splits across shards, and
-// that eviction is LRU within a shard (a touched entry survives, the
-// least recently used one goes).
+// by their first hex digit, that the capacity bound is global (keys
+// hashing into one shard never evict while the cache has room — a
+// per-shard quota once recomputed duplicate batch programs, see
+// TestBatchDeterminism/duplicates), and that eviction at capacity is
+// LRU within the inserting shard, stealing from another shard only
+// when the inserting shard has nothing else to give.
 func TestCacheShardingAndEviction(t *testing.T) {
 	c := NewCache(cacheShards) // one entry per shard
 	res := &Result{}
@@ -59,8 +62,24 @@ func TestCacheShardingAndEviction(t *testing.T) {
 		}
 	}
 
-	// LRU within one shard: capacity 2 per shard, three same-shard keys.
+	// Global bound: a cache with room keeps same-shard keys even when
+	// they all hash into one shard.
 	c = NewCache(2 * cacheShards)
+	c.put("a-first", res)
+	c.put("a-second", res)
+	c.put("a-third", res)
+	if c.Len() != 3 {
+		t.Fatalf("below capacity, Len = %d after three same-shard puts, want 3", c.Len())
+	}
+	for _, k := range []string{"a-first", "a-second", "a-third"} {
+		if c.get(k) == nil {
+			t.Errorf("same-shard key %q evicted below capacity", k)
+		}
+	}
+
+	// At capacity, eviction is LRU within the inserting key's shard:
+	// NewCache(2) keeps two active shards; the "a-" keys share one.
+	c = NewCache(2)
 	c.put("a-first", res)
 	c.put("a-second", res)
 	if c.get("a-first") == nil { // touch: now a-second is LRU
@@ -75,6 +94,26 @@ func TestCacheShardingAndEviction(t *testing.T) {
 	}
 	if c.get("a-third") == nil {
 		t.Error("new entry missing after eviction")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d after eviction, want capacity 2", c.Len())
+	}
+
+	// A full cache whose new key lands in an empty shard steals the LRU
+	// of a non-empty shard instead of exceeding the bound ("b-steal"
+	// hashes to the second active shard of a capacity-2 cache).
+	c.put("b-steal", res)
+	if c.Len() != 2 {
+		t.Errorf("Len = %d after cross-shard steal, want 2", c.Len())
+	}
+	if c.get("b-steal") == nil {
+		t.Error("fresh entry missing after cross-shard steal")
+	}
+	if c.get("a-third") == nil {
+		t.Error("most recently used entry of the donor shard was stolen")
+	}
+	if c.get("a-first") != nil {
+		t.Error("donor shard LRU survived the steal")
 	}
 }
 

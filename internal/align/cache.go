@@ -7,6 +7,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"hash"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -35,14 +36,20 @@ import (
 // onto their own graphs). FlightStats reports how many pipeline
 // executions ran and how many were collapsed.
 //
-// Eviction is LRU per shard with a fixed total capacity: the capacity
-// is split across the shards (remainder distributed one entry at a time
-// from shard 0), and a capacity below the shard count uses fewer shards
-// so every active shard holds at least one entry — the cache never
-// holds more than capacity results.
+// The capacity bound is global, not per shard: a put evicts only once
+// the whole cache holds capacity results (the cache never holds more),
+// and the victim is the least recently used entry of the inserting
+// key's own shard — or, when that shard has nothing else to give, of
+// another non-empty shard. Splitting the capacity into fixed per-shard
+// quotas instead would evict far below capacity whenever several hot
+// keys hash into one shard (with 6 distinct programs in a 24-entry
+// cache, three keys sharing a 2-entry shard forced recomputes — caught
+// by TestBatchDeterminism/duplicates).
 type Cache struct {
-	shards  [cacheShards]cacheShard
-	nshards int // active shards (min(cacheShards, capacity))
+	shards   [cacheShards]cacheShard
+	nshards  int          // active shards (min(cacheShards, capacity))
+	capacity int          // global entry bound across all shards
+	size     atomic.Int64 // current entries across all shards
 
 	hits      atomic.Int64
 	misses    atomic.Int64
@@ -61,7 +68,6 @@ const cacheShards = 16
 // cacheShard is one independently locked LRU.
 type cacheShard struct {
 	mu      sync.Mutex
-	cap     int
 	order   *list.List               // front = most recently used
 	entries map[string]*list.Element // key → element holding *cacheEntry
 }
@@ -86,12 +92,11 @@ type flightCall struct {
 const DefaultCacheCap = 64
 
 // NewCache returns an empty cache holding at most capacity results
-// (DefaultCacheCap if capacity <= 0). The bound is strict: per-shard
-// capacities sum to exactly capacity — the remainder of the split is
-// distributed one entry at a time from shard 0, and a capacity below
-// the shard count shrinks the number of active shards instead of
-// rounding every shard up (which would let a capacity-1 cache hold 16
-// entries).
+// (DefaultCacheCap if capacity <= 0). The bound is strict and global:
+// eviction starts only when the cache as a whole is full, never
+// because one shard is unlucky in the key hash, and a capacity below
+// the shard count shrinks the number of active shards so the cache
+// never spreads thinner than one entry per shard.
 func NewCache(capacity int) *Cache {
 	if capacity <= 0 {
 		capacity = DefaultCacheCap
@@ -100,15 +105,10 @@ func NewCache(capacity int) *Cache {
 	if capacity < nshards {
 		nshards = capacity
 	}
-	base, rem := capacity/nshards, capacity%nshards
-	c := &Cache{nshards: nshards}
+	c := &Cache{nshards: nshards, capacity: capacity}
 	for i := 0; i < nshards; i++ {
-		c.shards[i].cap = base
-		if i < rem {
-			c.shards[i].cap++
-		}
 		c.shards[i].order = list.New()
-		c.shards[i].entries = make(map[string]*list.Element, c.shards[i].cap)
+		c.shards[i].entries = make(map[string]*list.Element)
 	}
 	return c
 }
@@ -193,23 +193,71 @@ func (c *Cache) get(key string) *Result {
 	return res
 }
 
-// put stores a result under key, evicting the least recently used entry
-// of the key's shard when that shard is full.
-func (c *Cache) put(key string, res *Result) {
+// peek is get without touching the hit/miss counters: the singleflight
+// re-check uses it so a single logical lookup is never double-counted.
+func (c *Cache) peek(key string) *Result {
 	s := c.shardFor(key)
 	s.lock(c)
 	defer s.mu.Unlock()
 	if el, ok := s.entries[key]; ok {
+		s.order.MoveToFront(el)
+		return el.Value.(*cacheEntry).res
+	}
+	return nil
+}
+
+// put stores a result under key. The capacity bound is global: nothing
+// is evicted while the cache holds fewer than capacity entries, and
+// once it is full the victim is the LRU entry of the inserting key's
+// own shard — or, when that shard holds nothing but the fresh entry,
+// the LRU of another non-empty shard (stolen with TryLock so two
+// concurrent stealers can never deadlock on each other's shards).
+func (c *Cache) put(key string, res *Result) {
+	s := c.shardFor(key)
+	s.lock(c)
+	if el, ok := s.entries[key]; ok {
 		el.Value.(*cacheEntry).res = res
 		s.order.MoveToFront(el)
+		s.mu.Unlock()
 		return
 	}
-	for s.order.Len() >= s.cap {
+	s.entries[key] = s.order.PushFront(&cacheEntry{key: key, res: res})
+	if s.order.Len() > 1 && int(c.size.Load()) >= c.capacity {
+		// Cache full and this shard has an older entry: evict locally
+		// under the lock already held. The swap leaves size unchanged.
 		back := s.order.Back()
 		s.order.Remove(back)
 		delete(s.entries, back.Value.(*cacheEntry).key)
+		s.mu.Unlock()
+		return
 	}
-	s.entries[key] = s.order.PushFront(&cacheEntry{key: key, res: res})
+	n := c.size.Add(1)
+	s.mu.Unlock()
+	if int(n) <= c.capacity {
+		return
+	}
+	// Over capacity and the inserting shard had nothing else to evict:
+	// steal the LRU of a non-empty shard. No lock is held here, so the
+	// TryLock sweep cannot deadlock; a fully contended or momentarily
+	// all-empty sweep (another put racing its own eviction) retries.
+	for {
+		for i := 0; i < c.nshards; i++ {
+			v := &c.shards[i]
+			if !v.mu.TryLock() {
+				continue
+			}
+			if v.order.Len() > 1 || (v.order.Len() == 1 && v != s) {
+				back := v.order.Back()
+				v.order.Remove(back)
+				delete(v.entries, back.Value.(*cacheEntry).key)
+				c.size.Add(-1)
+				v.mu.Unlock()
+				return
+			}
+			v.mu.Unlock()
+		}
+		runtime.Gosched()
+	}
 }
 
 // do returns the result for key, computing it at most once across
@@ -248,6 +296,17 @@ func (c *Cache) do(ctx context.Context, key string, compute func() (*Result, err
 		case <-done:
 			return nil, false, ctx.Err()
 		}
+	}
+	// No flight in progress: re-check the cache before becoming the
+	// leader. A previous leader may have completed inside the window
+	// between this caller's fast-path miss and the flight-lock
+	// acquisition; since completion publishes to the cache before
+	// removing the flight entry, an absent flight guarantees a finished
+	// compute is already visible here — without this re-check a fast
+	// solve (the network path) races duplicate executions into being.
+	if hit := c.peek(key); hit != nil {
+		c.flightMu.Unlock()
+		return hit, false, nil
 	}
 	call := &flightCall{done: make(chan struct{})}
 	c.flights[key] = call
@@ -322,11 +381,20 @@ func cacheKey(g *adg.Graph, opts Options) string {
 	for _, e := range g.Edges {
 		fmt.Fprintf(h, "e%d;%d;%d;%g;", e.ID, e.Src.ID, e.Dst.ID, e.Control)
 	}
-	// Result-affecting options only: parallelism is excluded on purpose.
-	fmt.Fprintf(h, "o|%d;%d;%d;%d;%v;%v;%d;%d;",
+	// Result-affecting options only: parallelism is excluded on purpose
+	// (the computed alignment is identical at every worker count —
+	// TestOffsetEngineDeterminism pins this per engine mode). The LP
+	// engine toggles ARE keyed: the network fast path must match the
+	// engine it replaces byte for byte (same test), but a degenerate RLP
+	// can have many optimal vertices and the dense and sparse simplex
+	// cores may legitimately round different ones (equal approximate
+	// objective, different alignments), so runs under different forced
+	// engines must not share cache entries.
+	fmt.Fprintf(h, "o|%d;%d;%d;%d;%v;%v;%d;%d;%d;%v;",
 		opts.Offset.Strategy, opts.Offset.M, opts.Offset.MaxRefine,
 		opts.Offset.UnrollCap, opts.Offset.Static,
-		opts.Replication, opts.ReplicationRounds, opts.AxisStride.Restarts)
+		opts.Replication, opts.ReplicationRounds, opts.AxisStride.Restarts,
+		opts.Offset.Engine, opts.Offset.NoNetPath)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

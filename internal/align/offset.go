@@ -79,6 +79,19 @@ type OffsetOptions struct {
 	// (lp.Options.MaxIter); values <= 0 derive the budget from the
 	// problem size. Exhaustion fails the solve with lp.ErrBudget.
 	MaxIter int64
+	// Engine forces a simplex core for every offset LP
+	// (lp.EngineDense / lp.EngineSparse). The default, lp.EngineAuto,
+	// picks the sparse revised simplex for large low-density instances
+	// and the dense tableau otherwise. Differential tests and benchmark
+	// baselines force a core; production callers leave it auto.
+	Engine lp.Engine
+	// NoNetPath disables the network-dual fast path: axes whose RLP is
+	// network-shaped (every θ term couples at most two offsets, no
+	// per-LIV unknowns) are normally solved as a min-cost circulation
+	// without running any simplex. The toggle exists for differential
+	// testing and baseline measurement; the fast path falls back to the
+	// simplex transparently whenever its preconditions fail.
+	NoNetPath bool
 
 	// scratch, when non-nil, recycles tableau arenas across solves.
 	// Threaded in by the pipeline from Options.scratch.
@@ -288,7 +301,7 @@ func (ax *axisSolver) solveRLP(parts map[int][]space.Space, res *OffsetResult) (
 	if prob.NumConstraints() > res.LPConstraints {
 		res.LPConstraints = prob.NumConstraints()
 	}
-	sol, err := prob.Solve()
+	sol, err := ax.solveProb(prob)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -299,6 +312,20 @@ func (ax *axisSolver) solveRLP(parts map[int][]space.Space, res *OffsetResult) (
 	return out, sol.Objective, nil
 }
 
+// solveProb solves one RLP instance: the network-dual fast path when
+// the problem has network structure (and the path is enabled), the
+// simplex otherwise. The fast path is exact and self-certifying, so a
+// decline at any stage falls back without observable effect beyond the
+// effort counters.
+func (ax *axisSolver) solveProb(prob *lp.Problem) (*lp.Solution, error) {
+	if !ax.opts.NoNetPath {
+		if sol, ok := trySolveNet(prob, ax.stats); ok {
+			return sol, nil
+		}
+	}
+	return prob.Solve()
+}
+
 // buildRLP constructs the RLP instance for the current axis.
 func (ax *axisSolver) buildRLP(parts map[int][]space.Space) (*lp.Problem, map[coefKey]lp.VarID) {
 	prob := lp.NewProblem()
@@ -307,7 +334,7 @@ func (ax *axisSolver) buildRLP(parts map[int][]space.Space) (*lp.Problem, map[co
 	}
 	prob.SetArena(ax.arena)
 	prob.SetStats(ax.stats)
-	prob.SetOptions(lp.Options{MaxIter: ax.opts.MaxIter, Ctx: ax.opts.ctx})
+	prob.SetOptions(lp.Options{MaxIter: ax.opts.MaxIter, Ctx: ax.opts.ctx, Engine: ax.opts.Engine})
 	if ax.warmAll {
 		ax.thetas = map[int][]lp.VarID{}
 	}

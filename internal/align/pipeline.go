@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/adg"
 	"repro/internal/expr"
+	"repro/internal/lp"
 )
 
 // Options configures the full alignment pipeline.
@@ -154,6 +155,13 @@ func alignUncached(g *adg.Graph, opts Options) (*Result, error) {
 		solver := NewOffsetSolver(g, as, opts.Offset)
 		defer solver.releaseScratch()
 		var mobile MobilePredicate
+		// Effort accounting accumulates across the §6 rounds: each Solve
+		// reports only its own round's counters, but the result handed to
+		// the caller describes the whole iteration — without the sum, the
+		// cold round-0 solves (the expensive ones) would vanish from the
+		// report the moment a warm round overwrote off.
+		var effort lp.Stats
+		solves, lpVars, lpCons := 0, 0, 0
 		for round := 0; round < opts.ReplicationRounds; round++ {
 			if err := opts.ctxErr(); err != nil {
 				return nil, err
@@ -170,11 +178,23 @@ func alignUncached(g *adg.Graph, opts Options) (*Result, error) {
 				return nil, err
 			}
 			times.Offsets += time.Since(t0)
+			effort.Add(off.Stats)
+			solves += off.Solves
+			if off.LPVariables > lpVars {
+				lpVars = off.LPVariables
+			}
+			if off.LPConstraints > lpCons {
+				lpCons = off.LPConstraints
+			}
 			prev := off
 			mobile = func(p *adg.Port, t int) bool {
 				return !prev.Offsets[p.ID][t].IsConst()
 			}
 		}
+		off.Stats = effort
+		off.Solves = solves
+		off.LPVariables = lpVars
+		off.LPConstraints = lpCons
 	} else {
 		// Even without replication labeling, spreads force their inputs
 		// replicated (§5.2 constraint 2) — Figure 4's per-iteration

@@ -32,6 +32,10 @@ type axisState struct {
 	warm bool // keep the basis and re-solve via WarmSolve
 	prob *lp.Problem
 	vars map[coefKey]lp.VarID
+	// nf is the cached network classification of prob: the structure is
+	// round-invariant under warmAll (only θ costs change), so the probe
+	// runs once and every later round re-solves the flow directly.
+	nf *lp.NetForm
 }
 
 // NewOffsetSolver returns a reusable solver for the graph. Repeated
@@ -132,6 +136,7 @@ func (s *OffsetSolver) releaseScratch() {
 		}
 		st.prob = nil
 		st.vars = nil
+		st.nf = nil
 	}
 }
 
@@ -153,6 +158,9 @@ func (st *axisState) solve(res *OffsetResult) error {
 	if st.prob == nil {
 		st.prob, st.vars = ax.buildRLP(ax.initialPartitions())
 		st.prob.KeepBasis()
+		if !ax.opts.NoNetPath {
+			st.nf, _ = st.prob.NetworkForm()
+		}
 	} else {
 		// Only the objective changes across rounds: a θ term counts 1
 		// when its edge is live under the current labeling, 0 when the
@@ -174,9 +182,19 @@ func (st *axisState) solve(res *OffsetResult) error {
 	if st.prob.NumConstraints() > res.LPConstraints {
 		res.LPConstraints = st.prob.NumConstraints()
 	}
-	sol, err := st.prob.WarmSolve()
-	if err != nil {
-		return err
+	var sol *lp.Solution
+	if st.nf != nil {
+		// Network-shaped axis: every round (cold and warm) is a direct
+		// flow solve — costs are re-read from the problem, so the §6 cost
+		// flips are honored without any basis to keep warm.
+		sol, _ = solveNetForm(st.prob, st.nf, ax.stats)
+	}
+	if sol == nil {
+		var err error
+		sol, err = st.prob.WarmSolve()
+		if err != nil {
+			return err
+		}
 	}
 	res.Solves++
 	res.Approx += sol.Objective

@@ -11,11 +11,25 @@ import (
 type Stats struct {
 	// Solves counts cold two-phase solves (presolve + phase 1 + phase 2).
 	Solves int
+	// SparseSolves counts the subset of Solves (cold and warm) that ran
+	// on the sparse revised-simplex core rather than the dense tableau.
+	SparseSolves int
 	// WarmSolves counts warm-started re-optimizations that reused the
 	// factored basis of a previous solve (phase 2 only).
 	WarmSolves int
+	// NetSolves counts solves answered by the network-dual fast path
+	// (min-cost flow on the RLP's difference structure) without running
+	// any simplex. They are not included in Solves or WarmSolves.
+	NetSolves int
 	// Pivots counts simplex pivots across all solves.
 	Pivots int64
+	// Augments counts the flow augmentations of the network-dual fast
+	// path (its analogue of Pivots).
+	Augments int64
+	// Refactors counts basis refactorizations of the sparse core (the
+	// eta file is rebuilt from scratch every refactorStride pivots and
+	// at every warm start).
+	Refactors int64
 	// Phase1 and Phase2 are the wall times spent pivoting in the
 	// feasibility and optimality phases.
 	Phase1, Phase2 time.Duration
@@ -24,8 +38,12 @@ type Stats struct {
 // Add accumulates o into s.
 func (s *Stats) Add(o Stats) {
 	s.Solves += o.Solves
+	s.SparseSolves += o.SparseSolves
 	s.WarmSolves += o.WarmSolves
+	s.NetSolves += o.NetSolves
 	s.Pivots += o.Pivots
+	s.Augments += o.Augments
+	s.Refactors += o.Refactors
 	s.Phase1 += o.Phase1
 	s.Phase2 += o.Phase2
 }
@@ -135,6 +153,9 @@ type warmState struct {
 // falls back to a full cold Solve. The current basis stays primal
 // feasible under any objective change, so only phase 2 runs.
 func (p *Problem) WarmSolve() (*Solution, error) {
+	if p.keep && p.sws != nil && p.sws.nVars == len(p.names) && p.sws.nCons == len(p.cons) {
+		return p.warmSolveSparse()
+	}
 	ws := p.ws
 	if !p.keep || ws == nil || ws.nVars != len(p.names) || ws.nCons != len(p.cons) {
 		return p.Solve()

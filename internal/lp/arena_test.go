@@ -148,3 +148,37 @@ func TestStatsAccounting(t *testing.T) {
 		t.Fatalf("Add merge wrong: %+v from %+v", total, st)
 	}
 }
+
+// TestStatsAccountingSparse checks the sparse-core counters: a cold
+// sparse solve increments Solves and SparseSolves (plus at least one
+// refactorization), a warm sparse re-solve increments WarmSolves and
+// SparseSolves, and Add merges every new counter.
+func TestStatsAccountingSparse(t *testing.T) {
+	var st Stats
+	p := buildRandomRLP(rand.New(rand.NewSource(7)), 8, 12)
+	p.SetOptions(Options{Engine: EngineSparse})
+	p.SetStats(&st)
+	p.KeepBasis()
+	solveOrFail(t, p)
+	if st.Solves != 1 || st.SparseSolves != 1 || st.WarmSolves != 0 {
+		t.Fatalf("after cold sparse solve: %+v", st)
+	}
+	if st.Refactors == 0 {
+		t.Fatalf("cold sparse solve did not refactorize: %+v", st)
+	}
+	p.SetCost(0, 3)
+	if _, err := p.WarmSolve(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Solves != 1 || st.WarmSolves != 1 || st.SparseSolves != 2 {
+		t.Fatalf("after warm sparse solve: %+v", st)
+	}
+	st.NetSolves, st.Augments = 3, 17
+	var total Stats
+	total.Add(st)
+	total.Add(st)
+	if total.SparseSolves != 2*st.SparseSolves || total.Refactors != 2*st.Refactors ||
+		total.NetSolves != 6 || total.Augments != 34 {
+		t.Fatalf("Add merge wrong: %+v from %+v", total, st)
+	}
+}

@@ -49,11 +49,12 @@ type Problem struct {
 	free  []bool
 	cons  []constraint
 
-	arena *Arena     // optional scratch storage for the tableau
-	stats *Stats     // optional effort accounting
-	keep  bool       // retain the final tableau for WarmSolve
-	ws    *warmState // retained tableau of the last Solve when keep
-	opt   Options    // solve limits (iteration budget, cancellation)
+	arena *Arena           // optional scratch storage for the tableau
+	stats *Stats           // optional effort accounting
+	keep  bool             // retain the final tableau for WarmSolve
+	ws    *warmState       // retained dense tableau of the last Solve when keep
+	sws   *sparseWarmState // retained sparse factorized form when keep
+	opt   Options          // solve limits (iteration budget, cancellation)
 }
 
 // Options bounds a solve so the simplex can always be stopped: an
@@ -70,6 +71,11 @@ type Options struct {
 	// iterations) and aborts the solve with an error wrapping both
 	// ErrCanceled and ctx.Err() once it is done.
 	Ctx context.Context
+	// Engine selects the simplex core: EngineAuto picks the sparse
+	// revised simplex for large low-density problems and the dense
+	// tableau otherwise; EngineDense / EngineSparse force a core
+	// (differential testing, benchmarking baselines).
+	Engine Engine
 }
 
 // SetOptions attaches solve limits; the zero Options restores defaults.
@@ -128,6 +134,39 @@ func (p *Problem) NumVariables() int { return len(p.names) }
 // NumConstraints returns the number of constraints added so far.
 func (p *Problem) NumConstraints() int { return len(p.cons) }
 
+// Residual returns the largest constraint violation of vals (indexed
+// by VarID): the amount by which any row misses its relation, or any
+// nonnegative variable dips below zero. A value ≤ tol for the caller's
+// tolerance means vals is primal feasible. Differential tests use this
+// to cross-check solutions produced by different engines.
+func (p *Problem) Residual(vals []float64) float64 {
+	worst := 0.0
+	for _, c := range p.cons {
+		lhs := 0.0
+		for v, a := range c.coefs {
+			lhs += a * vals[v]
+		}
+		viol := 0.0
+		switch c.op {
+		case LE:
+			viol = lhs - c.rhs
+		case GE:
+			viol = c.rhs - lhs
+		case EQ:
+			viol = math.Abs(lhs - c.rhs)
+		}
+		if viol > worst {
+			worst = viol
+		}
+	}
+	for v, free := range p.free {
+		if !free && -vals[v] > worst {
+			worst = -vals[v]
+		}
+	}
+	return worst
+}
+
 // AddConstraint adds Σ coefs[v]·x_v (op) rhs. Coefficient maps are copied.
 func (p *Problem) AddConstraint(coefs map[VarID]float64, op Op, rhs float64) {
 	cp := make(map[VarID]float64, len(coefs))
@@ -159,6 +198,11 @@ func (s *Solution) Values() []float64 {
 }
 
 const eps = 1e-9
+
+// pivTol is the smallest tableau element either simplex core will
+// pivot on: dividing a row by anything smaller amplifies accumulated
+// floating-point noise past the feasibility tolerances.
+const pivTol = 1e-7
 
 // Solve runs equality presolve followed by the two-phase simplex and
 // returns an optimal solution, or ErrInfeasible / ErrUnbounded.
@@ -192,8 +236,13 @@ type colref struct {
 	sign float64
 }
 
-// solveRaw runs the two-phase simplex without presolve.
+// solveRaw runs the two-phase simplex without presolve, dispatching to
+// the sparse revised core (sparse.go) for large low-density problems.
 func (p *Problem) solveRaw() (*Solution, error) {
+	if p.chooseSparse() {
+		return p.solveSparse()
+	}
+	p.sws = nil // this solve's retained basis (if any) is dense
 	// Standard form: free variables are split x = x⁺ − x⁻ with both parts
 	// nonnegative; constraints become equalities via slack/surplus; rows
 	// are normalized so every RHS is nonnegative; phase 1 minimizes the
@@ -345,16 +394,29 @@ func (p *Problem) solveRaw() (*Solution, error) {
 			}
 			return nil, ErrInfeasible
 		}
-		// Drive remaining artificials out of the basis where possible.
+		// Drive remaining artificials out of the basis where possible,
+		// pivoting each row at its largest-magnitude eligible element.
+		// Elements below pivTol are factorization noise: pivoting on one
+		// amplifies the row by up to 1/pivTol, wrecking the tableau (and
+		// the returned "solution") — such rows are numerically redundant
+		// and keep their artificial basic at level 0 instead.
 		for i := range basis {
 			if basis[i] >= artIdx {
+				bestJ, bestV := -1, pivTol
 				for j := 0; j < artIdx; j++ {
-					if math.Abs(a[i][j]) > eps {
-						pivot(a, b, b2, basis, i, j)
-						break
+					if v := math.Abs(a[i][j]); v > bestV {
+						bestJ, bestV = j, v
 					}
 				}
-				// A zero row stays basic on its artificial at level 0.
+				if bestJ >= 0 {
+					pivot(a, b, b2, basis, i, bestJ)
+					// A negative-signed pivot flips the row's perturbation
+					// residue negative; re-perturb to keep the phase-2
+					// invariant b ≥ 0 (the perturbation is ours to choose).
+					if b[i] < 0 {
+						b[i] = 0
+					}
+				}
 			}
 		}
 	}
@@ -377,6 +439,15 @@ func (p *Problem) solveRaw() (*Solution, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	// An artificial stuck basic after the drive-out is supposed to sit
+	// in a redundant row at level 0; if phase-2 pivots lifted it, its
+	// constraint was silently abandoned and the "solution" is garbage.
+	// Fail honestly instead — callers treat it like a stuck solve.
+	for i, bj := range basis {
+		if bj >= artIdx && artUsed[bj] && math.Abs(b2[i]) > 1e-6 {
+			return nil, fmt.Errorf("%w: artificial lifted to %g (m=%d)", ErrBudget, b2[i], m)
+		}
 	}
 
 	if p.keep {
@@ -513,7 +584,6 @@ func simplex(a [][]float64, b, b2 []float64, basis []int, cost []float64, limit 
 		// pivot element for stability; on fully degenerate steps (ratio
 		// 0) fall back to Bland's smallest-basis-index rule to guarantee
 		// progress.
-		const pivTol = 1e-7
 		leave := -1
 		best := math.Inf(1)
 		for i := 0; i < m; i++ {

@@ -1,0 +1,230 @@
+package netflow
+
+import (
+	"container/heap"
+	"math"
+)
+
+// DiffTerm is one weighted absolute-difference term W·|y[U] − y[V] + D|
+// of a potential-optimization objective (SolvePotentials).
+type DiffTerm struct {
+	U, V int
+	W    float64 // weight ≥ 0
+	D    int64   // constant displacement
+}
+
+// SolvePotentials minimizes Σ_t W_t·|y[U_t] − y[V_t] + D_t| over integer
+// node potentials y[0..n), returning the minimizing potentials and the
+// optimal objective value.
+//
+// This is the network-dual fast path of the offset RLP (§4 of the
+// paper): when every edge term couples exactly two offsets with unit
+// coefficients, the LP dual is a min-cost circulation — maximize
+// Σ D_t·g_t over flows g_t ∈ [−W_t, W_t] conserving at every node — and
+// the node potentials of the successive-shortest-path algorithm are an
+// optimal primal solution. All arithmetic on potentials is integral
+// (the D_t are integers), so the result is exactly reproducible.
+//
+// Ties in the shortest-path search break by node and arc insertion
+// order, making the returned potentials deterministic for a fixed term
+// slice. The solution is self-certifying: ok is true only when the
+// primal objective of y equals the dual circulation value (strong
+// duality), so a caller can fall back to a general LP whenever ok is
+// false (which a numerically pathological instance could trigger, never
+// a well-formed one).
+func SolvePotentials(n int, terms []DiffTerm) (y []int64, obj float64, ok bool) {
+	y, obj, _, ok = SolvePotentialsCounted(n, terms)
+	return y, obj, ok
+}
+
+// SolvePotentialsCounted is SolvePotentials reporting the number of
+// augmenting-path iterations performed (the flow solver's analogue of a
+// simplex pivot count, for effort accounting).
+func SolvePotentialsCounted(n int, terms []DiffTerm) (y []int64, obj float64, augments int64, ok bool) {
+	const capEps = 1e-12
+	type arc struct {
+		to   int
+		cap  float64 // residual capacity
+		cost int64   // cost per unit in residual direction
+	}
+	// Two directed arcs per term (g = f_fwd − f_bwd), each followed by
+	// its residual twin at arc^1.
+	arcs := make([]arc, 0, 4*len(terms))
+	head := make([][]int32, n)
+	addArc := func(u, v int, capacity float64, cost int64) {
+		head[u] = append(head[u], int32(len(arcs)))
+		arcs = append(arcs, arc{to: v, cap: capacity, cost: cost})
+		head[v] = append(head[v], int32(len(arcs)))
+		arcs = append(arcs, arc{to: u, cap: 0, cost: -cost})
+	}
+	excess := make([]float64, n)
+	for _, t := range terms {
+		if t.W <= capEps || t.U == t.V {
+			continue // constant contribution; caller accounts for it
+		}
+		// Dual arc pair: minimize Σ(−D)·f_fwd + D·f_bwd. Saturate the
+		// negative-cost member up front so every residual cost is ≥ 0
+		// under the zero potential, leaving node excess to drain.
+		if t.D > 0 {
+			addArc(t.U, t.V, 0, -t.D) // saturated forward
+			arcs[len(arcs)-1].cap = t.W
+			excess[t.V] += t.W
+			excess[t.U] -= t.W
+			addArc(t.V, t.U, t.W, t.D)
+		} else {
+			addArc(t.U, t.V, t.W, -t.D)
+			if t.D < 0 {
+				addArc(t.V, t.U, 0, t.D) // saturated backward
+				arcs[len(arcs)-1].cap = t.W
+				excess[t.U] += t.W
+				excess[t.V] -= t.W
+			} else {
+				addArc(t.V, t.U, t.W, t.D)
+			}
+		}
+	}
+
+	pi := make([]int64, n)
+	dist := make([]int64, n)
+	reached := make([]bool, n)
+	prevArc := make([]int32, n)
+	const unreached = math.MaxInt64
+
+	// Successive shortest paths: route excess to deficit along reduced-
+	// cost-shortest residual paths, keeping all reduced costs ≥ 0 by the
+	// potential update π_v += min(dist_v, dist_t).
+	maxAug := int64(8*len(arcs) + 16)
+	for ; ; augments++ {
+		// Lowest-index source with positive excess (deterministic).
+		s := -1
+		for v := 0; v < n; v++ {
+			if excess[v] > 1e-9 {
+				s = v
+				break
+			}
+		}
+		if s < 0 {
+			break
+		}
+		if augments >= maxAug {
+			return nil, 0, augments, false
+		}
+		// Dijkstra from s on reduced costs.
+		for v := range dist {
+			dist[v] = unreached
+			reached[v] = false
+			prevArc[v] = -1
+		}
+		dist[s] = 0
+		pq := &mcHeap{{0, int32(s)}}
+		t := -1
+		for pq.Len() > 0 {
+			it := heap.Pop(pq).(mcItem)
+			v := int(it.node)
+			if reached[v] {
+				continue
+			}
+			reached[v] = true
+			if excess[v] < -1e-9 {
+				t = v
+				break
+			}
+			for _, ai := range head[v] {
+				a := arcs[ai]
+				if a.cap <= capEps || reached[a.to] {
+					continue
+				}
+				nd := dist[v] + a.cost + pi[v] - pi[a.to]
+				if nd < dist[a.to] {
+					dist[a.to] = nd
+					prevArc[a.to] = ai
+					heap.Push(pq, mcItem{nd, int32(a.to)})
+				}
+			}
+		}
+		if t < 0 {
+			return nil, 0, augments, false // excess with no reachable deficit
+		}
+		for v := range pi {
+			if dist[v] < dist[t] {
+				pi[v] += dist[v]
+			} else {
+				pi[v] += dist[t]
+			}
+		}
+		// Augment by the path bottleneck, capped by the endpoints.
+		amt := excess[s]
+		if d := -excess[t]; d < amt {
+			amt = d
+		}
+		for v := t; v != s; {
+			a := prevArc[v]
+			if arcs[a].cap < amt {
+				amt = arcs[a].cap
+			}
+			v = arcs[a^1].to
+		}
+		for v := t; v != s; {
+			a := prevArc[v]
+			arcs[a].cap -= amt
+			arcs[a^1].cap += amt
+			v = arcs[a^1].to
+		}
+		excess[s] -= amt
+		excess[t] += amt
+	}
+
+	// Optimal primal potentials are the negated dual potentials.
+	y = make([]int64, n)
+	for v := range y {
+		y[v] = -pi[v]
+	}
+	// Strong-duality certificate: primal objective at y must equal the
+	// circulation value Σ D_t·g_t. Residual caps recover each g.
+	var primal, dual float64
+	ai := 0
+	for _, t := range terms {
+		if t.W <= capEps || t.U == t.V {
+			continue
+		}
+		span := y[t.U] - y[t.V] + t.D
+		if span < 0 {
+			span = -span
+		}
+		primal += t.W * float64(span)
+		fFwd := arcs[ai+1].cap // flow on u→v = residual of its twin
+		fBwd := arcs[ai+2+1].cap
+		dual += float64(t.D) * (fFwd - fBwd)
+		ai += 4
+	}
+	if math.Abs(primal-dual) > 1e-6*(1+math.Abs(primal)) {
+		return nil, 0, augments, false
+	}
+	return y, primal, augments, true
+}
+
+// mcItem is a Dijkstra frontier entry; ties break by node index so the
+// search order (and with it the chosen optimum) is deterministic.
+type mcItem struct {
+	dist int64
+	node int32
+}
+
+type mcHeap []mcItem
+
+func (h mcHeap) Len() int { return len(h) }
+func (h mcHeap) Less(i, j int) bool {
+	if h[i].dist != h[j].dist {
+		return h[i].dist < h[j].dist
+	}
+	return h[i].node < h[j].node
+}
+func (h mcHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *mcHeap) Push(x any)   { *h = append(*h, x.(mcItem)) }
+func (h *mcHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

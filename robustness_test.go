@@ -39,7 +39,7 @@ enddo
 // batch's shared MaxLPIter budget it exhausts its iteration budget
 // while every fig1-sized program finishes with room to spare. The
 // thresholds were measured: fig1-family solves need < 200 pivots per
-// LP, this one needs > 1000.
+// LP, this one needs > 300.
 const robustHungrySrc = `real U(400), F(400), G(400), H(400), W(400)
 do k = 1, 100
   U(k:k+99) = U(k:k+99) + F(k+1:k+100)
@@ -59,7 +59,7 @@ func TestAlignBatchPanicAndBudgetIsolation(t *testing.T) {
 	const n = 32
 	const badPanic, badBudget = 7, 19
 	opts := DefaultOptions()
-	opts.MaxLPIter = 400 // fig1 family needs < 200, hungry needs > 1000
+	opts.MaxLPIter = 250 // fig1 family needs < 200, hungry needs > 300
 
 	good := make([]string, 0, n-2)
 	srcs := make([]string, 0, n)

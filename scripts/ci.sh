@@ -30,6 +30,9 @@ echo "== go test -race (batch engine: cache, singleflight, scheduler)"
 go test -race -run 'TestCache|TestAlignSingleflight|TestScheduler|TestAlignBatch|TestScratch|TestBatchDeterminism' \
     ./internal/align/ .
 
+echo "== go test -race (differential: dense vs sparse vs network engines)"
+go test -race -run Differential ./internal/align/ ./internal/lp/
+
 echo "== go test -race (robustness: cancellation, panic isolation, budgets)"
 go test -race -run 'Cancel|Panic|Budget' ./...
 
