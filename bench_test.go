@@ -580,13 +580,17 @@ func minTime(b *testing.B, tries, reps int, f func() error) time.Duration {
 	return best
 }
 
-// BenchmarkAxisStride — the interned-label incremental DP against the
-// retained pre-PR string-keyed solver (AxisStrideLegacy) on the DP-heavy
-// rank-4 workload and the examples/ programs. ns/op times the production
-// solver; the speedup metric is gated ≥ 3× on the rank-4 workload (both
-// solvers share candidate generation, so the ratio isolates config
-// enumeration + optimization). Byte-identical output across parallelism
-// levels is asserted by TestAxisStrideDeterminism.
+// BenchmarkAxisStride — the flat pooled DP against the two retained
+// baselines on the DP-heavy rank-4 workload and the examples/ programs:
+// the pre-PR string-keyed solver (AxisStrideLegacy, gated ≥ 3×) and the
+// interned-label slice-state solver it replaced (AxisStrideInterned,
+// gated ≥ 2× per the flat-state rebuild). ns/op and allocs/op measure
+// the production solver warm (the pooled steady state the batch engine
+// runs in); a warm-up solve before ResetTimer charges the pool's
+// first-fill to setup. All solvers share candidate generation, so the
+// ratios isolate config enumeration + optimization. Byte-identical
+// output across parallelism levels is asserted by
+// TestAxisStrideDeterminism and TestDPStateDeterminism.
 func BenchmarkAxisStride(b *testing.B) {
 	workloads := []struct{ name, src string }{
 		{"rank4", axisHeavySrc},
@@ -602,6 +606,13 @@ func BenchmarkAxisStride(b *testing.B) {
 				_, err := align.AxisStrideLegacy(g)
 				return err
 			})
+			internedT := minTime(b, 3, 8, func() error {
+				_, err := align.AxisStrideInterned(g)
+				return err
+			})
+			if _, err := align.AxisStride(g); err != nil { // warm the pools
+				b.Fatal(err)
+			}
 			var stats align.DPStats
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -612,18 +623,24 @@ func BenchmarkAxisStride(b *testing.B) {
 				stats = as.Stats
 			}
 			b.StopTimer()
-			interned := minTime(b, 3, 8, func() error {
+			flat := minTime(b, 3, 8, func() error {
 				_, err := align.AxisStride(g)
 				return err
 			})
-			speedup := float64(legacy) / float64(interned)
+			speedup := float64(legacy) / float64(flat)
+			speedupInt := float64(internedT) / float64(flat)
 			b.ReportMetric(speedup, "speedup-vs-legacy")
+			b.ReportMetric(speedupInt, "speedup-vs-interned")
 			b.ReportMetric(float64(stats.Labels), "labels")
 			b.ReportMetric(float64(stats.Configs), "configs")
 			b.ReportMetric(float64(stats.Sweeps), "sweeps")
 			if w.name == "rank4" && speedup < 3 {
-				b.Errorf("interned DP speedup %.2fx < 3x over string-keyed solver on rank-4 workload (legacy %v, interned %v)",
-					speedup, legacy, interned)
+				b.Errorf("flat DP speedup %.2fx < 3x over string-keyed solver on rank-4 workload (legacy %v, flat %v)",
+					speedup, legacy, flat)
+			}
+			if w.name == "rank4" && speedupInt < 2 {
+				b.Errorf("flat DP speedup %.2fx < 2x over interned-label solver on rank-4 workload (interned %v, flat %v)",
+					speedupInt, internedT, flat)
 			}
 		})
 	}

@@ -1,4 +1,4 @@
-// Command benchreport runs the experiment suite (the E1–E14 table of
+// Command benchreport runs the experiment suite (the E1–E15 table of
 // DESIGN.md) directly — without the testing harness — and prints the
 // paper-vs-measured comparison rows recorded in EXPERIMENTS.md. Alongside
 // the text report it writes a machine-readable perf snapshot (phase
@@ -40,6 +40,7 @@ func main() {
 	snap := e12()
 	snap.Batch = e13()
 	snap.OffsetEngine = e14()
+	snap.FlatState = e15()
 	if *jsonPath != "" {
 		writeSnapshot(*jsonPath, snap)
 	}
@@ -234,8 +235,10 @@ enddo
 // History: v1 (implicit 0/absent) — PR 2's workloads + cache record;
 // v2 — adds schema_version itself and the E13 batch-throughput row;
 // v3 — per-solver LP breakdown (sparse solves, network solves, flow
-// augmentations, refactorizations) and the E14 offset-engine rows.
-const schemaVersion = 3
+// augmentations, refactorizations) and the E14 offset-engine rows;
+// v4 — the E15 flat-state rows (steady-state allocs/op and B/op of the
+// pooled DP solver, flat-vs-interned speedup, PruneSlack effect).
+const schemaVersion = 4
 
 // Snapshot is the machine-readable record benchreport writes alongside
 // the text report, so the perf trajectory (phase times, DP and LP effort,
@@ -248,6 +251,22 @@ type Snapshot struct {
 	Cache         CacheSnapshot          `json:"cache"`
 	Batch         BatchSnapshot          `json:"batch"`
 	OffsetEngine  []OffsetEngineSnapshot `json:"offset_engine"`
+	FlatState     []FlatStateSnapshot    `json:"flat_state"`
+}
+
+// FlatStateSnapshot is one E15 row: the §3 solver's steady-state
+// allocation rate with warm scratch pools and its wall time against the
+// frozen interned-label baseline, plus the adaptive multi-start pruning
+// effect (PruneSlack) on the same workload.
+type FlatStateSnapshot struct {
+	Name            string  `json:"name"`
+	InternedNs      int64   `json:"interned_ns"`
+	FlatNs          int64   `json:"flat_ns"`
+	Speedup         float64 `json:"speedup"`
+	WarmAllocsPerOp float64 `json:"warm_allocs_per_op"`
+	WarmBytesPerOp  float64 `json:"warm_bytes_per_op"`
+	PrunedNs        int64   `json:"pruned_ns"`
+	PrunedStarts    int     `json:"pruned_starts"`
 }
 
 // WorkloadSnapshot is one program's pipeline profile.
@@ -554,6 +573,96 @@ func e14() []OffsetEngineSnapshot {
 		row("E14/perf", w.name+" offsets, two-tier engine", "≥3x on rank4-dp",
 			fmt.Sprintf("%v (%.1fx, %d sparse solves, %d net solves, %d pivots, %d augments, %d refactors)",
 				autoT.Round(time.Microsecond), speedup, st.SparseSolves, st.NetSolves, st.Pivots, st.Augments, st.Refactors))
+	}
+	return out
+}
+
+// identitySrc is an identity-alignment op chain: every candidate label
+// is the cached identity, so a steady-state solve exercises the flat DP
+// hot path with no per-solve label derivation — the regime the ≤8
+// allocs/op gate of TestWarmSolveZeroAlloc pins.
+const identitySrc = `
+real A(64,64), B(64,64), C(64,64)
+C = A + B
+B = C + A
+A = B + C
+`
+
+// allocRate reports the steady-state heap allocation rate of f —
+// objects and bytes per call, averaged over runs — using the same
+// mechanism as testing.AllocsPerRun but also recording bytes.
+func allocRate(runs int, f func()) (allocsPerOp, bytesPerOp float64) {
+	f() // warm pools outside the measured window
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		f()
+	}
+	runtime.ReadMemStats(&after)
+	n := float64(runs)
+	return float64(after.Mallocs-before.Mallocs) / n, float64(after.TotalAlloc-before.TotalAlloc) / n
+}
+
+// e15 measures the flat, pooled DP/LP state of this PR: steady-state
+// allocations per solve with warm scratch pools (the batch engine's
+// regime), wall time against the frozen interned-label solver, and the
+// adaptive multi-start pruning (PruneSlack) effect. The ≥2× rank4
+// speedup and the ≤8 allocs/op warm-solve bound are gated elsewhere
+// (BenchmarkAxisStride, TestWarmSolveZeroAlloc); this records the
+// measured trajectory.
+func e15() []FlatStateSnapshot {
+	var out []FlatStateSnapshot
+	for _, w := range []struct{ name, src string }{
+		{"rank4-dp", dpSrc}, {"identity-chain", identitySrc},
+	} {
+		g := build.MustBuild(lang.MustAnalyze(lang.MustParse(w.src)))
+		minOver := func(f func()) time.Duration {
+			best := time.Duration(1<<62 - 1)
+			for i := 0; i < 5; i++ {
+				if t := timeIt(f); t < best {
+					best = t
+				}
+			}
+			return best
+		}
+		internedT := minOver(func() {
+			if _, err := align.AxisStrideInterned(g); err != nil {
+				fail(err)
+			}
+		})
+		flatT := minOver(func() {
+			if _, err := align.AxisStride(g); err != nil {
+				fail(err)
+			}
+		})
+		allocs, bytes := allocRate(50, func() {
+			if _, err := align.AxisStride(g); err != nil {
+				fail(err)
+			}
+		})
+		pruned := align.AxisStrideOptions{Parallelism: 1, Restarts: 6, PruneSlack: 0.05}
+		var prunedStarts int
+		prunedT := minOver(func() {
+			r, err := align.AxisStrideOpts(g, pruned)
+			if err != nil {
+				fail(err)
+			}
+			prunedStarts = r.Stats.PrunedStarts
+		})
+		speedup := float64(internedT) / float64(flatT)
+		out = append(out, FlatStateSnapshot{
+			Name: w.name, InternedNs: int64(internedT), FlatNs: int64(flatT),
+			Speedup: speedup, WarmAllocsPerOp: allocs, WarmBytesPerOp: bytes,
+			PrunedNs: int64(prunedT), PrunedStarts: prunedStarts,
+		})
+		row("E15/perf", w.name+" DP, interned baseline", "PR 2 solver", internedT.Round(time.Microsecond))
+		row("E15/perf", w.name+" DP, flat+pooled", "≥2x on rank4",
+			fmt.Sprintf("%v (%.2fx)", flatT.Round(time.Microsecond), speedup))
+		row("E15/perf", w.name+" steady-state allocation", "pooled: small constant",
+			fmt.Sprintf("%.0f allocs/op, %.0f B/op", allocs, bytes))
+		row("E15/perf", w.name+" PruneSlack=0.05, 6 restarts", "deterministic pruning",
+			fmt.Sprintf("%v, %d starts pruned", prunedT.Round(time.Microsecond), prunedStarts))
 	}
 	return out
 }

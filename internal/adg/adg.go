@@ -10,6 +10,7 @@ package adg
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/expr"
 	"repro/internal/space"
@@ -191,6 +192,14 @@ type Edge struct {
 	// execution probability). The expected realignment cost of the edge
 	// is Control × Σ_i w(i)·d(π_src(i), π_dst(i)).
 	Control float64
+
+	// totW caches TotalWeight()+1 (0 = not yet computed). The sum is a
+	// pure function of the graph's spaces and weights, which are fixed
+	// once construction finishes, so a racing recompute is idempotent
+	// and the atomic needs no lock. Alignment solvers hit TotalWeight
+	// for every edge on every solve; the closed-form summation behind
+	// it is by far too expensive to redo there.
+	totW atomic.Int64
 }
 
 // Space returns the iteration space over which data actually flows on
@@ -250,8 +259,16 @@ func (x *XformSpec) LastIterate() expr.Affine {
 func (e *Edge) Weight() expr.Poly { return e.Src.Weight() }
 
 // TotalWeight returns the closed-form sum of the edge's data weight over
-// its iteration space: W = Σ_{i∈I} w(i) (§3).
-func (e *Edge) TotalWeight() int64 { return e.Space().TotalOf(e.Weight()) }
+// its iteration space: W = Σ_{i∈I} w(i) (§3). The first call evaluates
+// the sum; later calls return the cached value.
+func (e *Edge) TotalWeight() int64 {
+	if v := e.totW.Load(); v != 0 {
+		return v - 1
+	}
+	w := e.Space().TotalOf(e.Weight())
+	e.totW.Store(w + 1)
+	return w
+}
 
 // ExpectedWeight is the control-weighted total weight c_e·W (§6).
 func (e *Edge) ExpectedWeight() float64 { return e.Control * float64(e.TotalWeight()) }

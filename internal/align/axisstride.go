@@ -8,6 +8,7 @@ package align
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"strings"
 	"sync"
@@ -66,6 +67,24 @@ func identityLabel(rank int) ASLabel {
 	return l
 }
 
+// identityLabelCached returns the (immutable, shared) identity label for
+// a rank without rebuilding its slices on every call — the seeding loop
+// of candidate generation asks for one per port per solve.
+func identityLabelCached(rank int) ASLabel {
+	idLabMu.Lock()
+	for len(idLabCache) <= rank {
+		idLabCache = append(idLabCache, identityLabel(len(idLabCache)))
+	}
+	l := idLabCache[rank]
+	idLabMu.Unlock()
+	return l
+}
+
+var (
+	idLabMu    sync.Mutex
+	idLabCache []ASLabel
+)
+
 // DPStats is the effort accounting of the §3 compact dynamic program:
 // how much search the iterated best-response + chain-expansion
 // optimization performed. All counters are sums over the multi-start
@@ -87,6 +106,9 @@ type DPStats struct {
 	Evals int64
 	// ExpansionAccepts counts accepted chain-expansion moves.
 	ExpansionAccepts int64
+	// PrunedStarts counts perturbed restarts abandoned by the adaptive
+	// PruneSlack cutoff (always 0 when PruneSlack is off).
+	PrunedStarts int
 }
 
 func (s *DPStats) add(o DPStats) {
@@ -95,6 +117,7 @@ func (s *DPStats) add(o DPStats) {
 	s.Moves += o.Moves
 	s.Evals += o.Evals
 	s.ExpansionAccepts += o.ExpansionAccepts
+	s.PrunedStarts += o.PrunedStarts
 }
 
 // AxisStrideOptions configures the §3 solver.
@@ -108,9 +131,21 @@ type AxisStrideOptions struct {
 	// two canonical seeds (all-first and all-last configurations).
 	// Default 2; negative means none.
 	Restarts int
+	// PruneSlack, when > 0, adaptively prunes perturbed restarts
+	// (WFA-style): the two canonical seeds run to completion first, and
+	// a restart is abandoned as soon as its incumbent cost exceeds
+	// (1+PruneSlack)·min(canonical costs) after a sweep or an expansion
+	// pass. Pruning depends only on costs — never on goroutine timing —
+	// so the result is still identical at every Parallelism setting. A
+	// pruned restart can never be the winner (its cost exceeds a
+	// completed start's), so the chosen labeling equals the unpruned
+	// one whenever the winner is a canonical seed or survives the
+	// cutoff. Default 0 = off ⇒ byte-identical to the unpruned solver.
+	PruneSlack float64
 
-	// scratch, when non-nil, recycles the label intern table across
-	// solves. Threaded in by the pipeline from Options.scratch.
+	// scratch, when non-nil, recycles the label intern table and the
+	// flat DP state arena across solves. Threaded in by the pipeline
+	// from Options.scratch; nil falls back to a package-level pool.
 	scratch *scratchPool
 
 	// ctx, when non-nil, cancels the solve: every start polls it between
@@ -128,6 +163,9 @@ func (o AxisStrideOptions) withDefaults() AxisStrideOptions {
 	}
 	if o.Restarts < 0 {
 		o.Restarts = 0
+	}
+	if o.PruneSlack < 0 {
+		o.PruneSlack = 0
 	}
 	return o
 }
@@ -163,7 +201,9 @@ func AxisStrideOpts(g *adg.Graph, opts AxisStrideOptions) (*AxisStrideResult, er
 	opts = opts.withDefaults()
 	tab := opts.scratch.getIntern()
 	defer opts.scratch.putIntern(tab)
-	s := &asSolver{g: g, tab: tab, cands: make([][]int32, len(g.Ports))}
+	scr := opts.scratch.getDP()
+	defer opts.scratch.putDP(scr)
+	s := newASSolver(g, tab, scr)
 	if err := s.generateCandidates(); err != nil {
 		return nil, err
 	}
@@ -175,78 +215,184 @@ func AxisStrideOpts(g *adg.Graph, opts AxisStrideOptions) (*AxisStrideResult, er
 		return nil, err
 	}
 	stats.Labels = s.tab.size()
-	for _, cfgs := range s.cfgs {
-		stats.Configs += len(cfgs)
+	for nid := range g.Nodes {
+		stats.Configs += int(s.cfgCnt[nid])
 	}
-	res := &AxisStrideResult{Labels: map[int]ASLabel{}, Stats: stats}
-	lab := make([]int32, len(g.Ports))
-	for _, n := range g.Nodes {
-		cfg := s.cfgs[n.ID][s.best[n.ID]]
-		for i, p := range n.In {
-			lab[p.ID] = cfg.in[i]
-			res.Labels[p.ID] = s.tab.label(cfg.in[i])
-		}
-		for i, p := range n.Out {
-			lab[p.ID] = cfg.out[i]
-			res.Labels[p.ID] = s.tab.label(cfg.out[i])
-		}
+	res := &AxisStrideResult{Labels: make(map[int]ASLabel, len(g.Ports)), Stats: stats}
+	lab := s.bestLab
+	for _, p := range g.Ports {
+		res.Labels[p.ID] = s.tab.label(lab[p.ID])
 	}
+	ng := 0
 	for _, e := range g.Edges {
 		if lab[e.Src.ID] != lab[e.Dst.ID] {
-			res.Cost += e.TotalWeight()
-			res.GeneralEdges = append(res.GeneralEdges, e)
+			ng++
+		}
+	}
+	if ng > 0 {
+		res.GeneralEdges = make([]*adg.Edge, 0, ng)
+		for _, e := range g.Edges {
+			if lab[e.Src.ID] != lab[e.Dst.ID] {
+				res.Cost += e.TotalWeight()
+				res.GeneralEdges = append(res.GeneralEdges, e)
+			}
 		}
 	}
 	return res, nil
 }
 
+// asSolver is the flat §3 solver: every per-solve array — candidate
+// sets, configuration rows, incidence, evaluation and match tables — is
+// carved by offset from the solve's dpScratch, so a warm solve builds
+// its whole working set without heap allocation. Candidate sets live at
+// a fixed stride of maxCandidates per port; configuration rows are a
+// CSR over scr.cfgBuf (row = the node's In labels then Out labels).
 type asSolver struct {
-	g     *adg.Graph
-	tab   *internTable
-	cands [][]int32   // port ID → candidate label IDs
-	cfgs  [][]icfg    // node ID → feasible configurations
-	best  []int       // chosen config index per node ID
-	wts   []float64   // edge ID → control-weighted total weight
-	ends  [][2]int32  // edge ID → (src port ID, dst port ID)
-	inc   [][]incEdge // node ID → incident edges (each edge once)
+	g   *adg.Graph
+	tab *internTable
+	scr *dpScratch
+
+	candBuf []int32 // port ID → candidates at [ID*maxCandidates, +candLen[ID])
+	candLen []int32
+
+	cfgOff []int32 // node ID → first row offset into scr.cfgBuf
+	cfgCnt []int32 // node ID → number of configurations
+	cfgNIn []int32 // node ID → inputs per row
+	cfgW   []int32 // node ID → row width (inputs + outputs)
+	maxCfg int     // max configurations over all nodes
+
+	best    []int32 // winner's config index per node
+	bestLab []int32 // winner's label ID per port
+
+	wts  []float64 // edge ID → control-weighted total weight
+	ends []int32   // edge ID → (src port ID, dst port ID) at 2*ID
+
+	inc    []incEdge // incident edges, CSR by node
+	incOff []int32
+
+	nodePorts []int32 // node ID → port IDs in row order, CSR
+	portOff   []int32
+
+	// evalBuf holds, per node, per incident slot k, per configuration c,
+	// the node-side comparison value at evalOff[node] + k*C + c: the
+	// node's endpoint label for ordinary slots, a 0/1 mismatch flag for
+	// self-loop slots. sweeps evaluate all configurations of a node by
+	// streaming these rows against the fixed neighbor labels.
+	evalBuf []int32
+	evalOff []int32
+
+	// matchBuf maps (port ID, label ID) → 1 + the first configuration
+	// index of the port's node carrying that label at the port (0 =
+	// none); the expansion wavefront's configuration lookup.
+	matchBuf []int32
+	nLabels  int32
+
+	// siteDone holds, per propagation site of each node, how many
+	// candidates of the site's source port have been processed, making
+	// node transfer propagation incremental across fixpoint rounds.
+	siteDone []int32
+	siteOff  []int32
+
+	idLab []int32 // rank → interned identity label ID (lazy, -1 unset)
 }
 
-// icfg is a node configuration over interned label IDs.
-type icfg struct {
-	in, out []int32
-}
-
-// incEdge is one edge incident on a node, precomputed so the best-response
-// cost loop is branch-light and allocation-free. selfLoop edges (both
-// endpoints on the node) depend only on the node's own configuration.
+// incEdge is one edge incident on a node, precomputed so the
+// best-response cost loop is branch-light and allocation-free. selfLoop
+// edges (both endpoints on the node) depend only on the node's own
+// configuration.
 type incEdge struct {
 	w        float64
 	eid      int32 // edge ID (delta-cost dedup in expansion passes)
 	peer     int32 // peer port ID (label index), unused for selfLoop
-	selfOut  bool  // this node's endpoint is an output port
-	selfIdx  int32 // index of this node's endpoint among In or Out
+	peerNode int32 // peer node ID, unused for selfLoop
+	selfPos  int32 // row position of this node's endpoint
+	dstPos   int32 // selfLoop: row position of the edge's Dst endpoint
 	selfLoop bool
-	dstIdx   int32 // selfLoop: input-port index of the edge's Dst
 }
 
-func (c icfg) labelAt(out bool, idx int32) int32 {
-	if out {
-		return c.out[idx]
+func newASSolver(g *adg.Graph, tab *internTable, scr *dpScratch) *asSolver {
+	scr.reset()
+	s := &scr.solver
+	*s = asSolver{g: g, tab: tab, scr: scr}
+	nP, nN := len(g.Ports), len(g.Nodes)
+	s.candBuf = scr.int32s(nP * maxCandidates)
+	s.candLen = scr.int32s(nP)
+	s.siteOff = scr.int32s(nN + 1)
+	total := 0
+	for _, n := range g.Nodes {
+		s.siteOff[n.ID] = int32(total)
+		total += len(n.In) + len(n.Out) + 2
 	}
-	return c.in[idx]
+	s.siteOff[nN] = int32(total)
+	s.siteDone = scr.int32s(total)
+	s.portOff = scr.int32s(nN + 1)
+	total = 0
+	for _, n := range g.Nodes {
+		s.portOff[n.ID] = int32(total)
+		total += len(n.In) + len(n.Out)
+	}
+	s.portOff[nN] = int32(total)
+	s.nodePorts = scr.int32s(total)
+	maxRank := 0
+	for _, n := range g.Nodes {
+		off := int(s.portOff[n.ID])
+		for i, p := range n.In {
+			s.nodePorts[off+i] = int32(p.ID)
+		}
+		for i, p := range n.Out {
+			s.nodePorts[off+len(n.In)+i] = int32(p.ID)
+		}
+	}
+	for _, p := range g.Ports {
+		if p.Rank > maxRank {
+			maxRank = p.Rank
+		}
+	}
+	s.idLab = scr.int32s(maxRank + 1)
+	for i := range s.idLab {
+		s.idLab[i] = -1
+	}
+	return s
+}
+
+// cand returns a port's candidate label IDs.
+func (s *asSolver) cand(pid int) []int32 {
+	base := pid * maxCandidates
+	return s.candBuf[base : base+int(s.candLen[pid])]
+}
+
+// cfgRow returns one configuration row of a node: its In labels
+// followed by its Out labels.
+func (s *asSolver) cfgRow(nid int, ci int32) []int32 {
+	w := int(s.cfgW[nid])
+	off := int(s.cfgOff[nid]) + int(ci)*w
+	return s.scr.cfgBuf[off : off+w]
+}
+
+// ilab interns the identity label of a rank, memoized per solve.
+func (s *asSolver) ilab(rank int) int32 {
+	if id := s.idLab[rank]; id >= 0 {
+		return id
+	}
+	id := s.tab.intern(identityLabelCached(rank))
+	s.idLab[rank] = id
+	return id
 }
 
 func (s *asSolver) addCand(p *adg.Port, l ASLabel) bool {
-	if len(l.AxisMap) != p.Rank || len(s.cands[p.ID]) >= maxCandidates {
+	if len(l.AxisMap) != p.Rank || int(s.candLen[p.ID]) >= maxCandidates {
 		return false
 	}
 	id := s.tab.intern(l)
-	for _, c := range s.cands[p.ID] {
+	base := p.ID * maxCandidates
+	n := int(s.candLen[p.ID])
+	for _, c := range s.candBuf[base : base+n] {
 		if c == id {
 			return false
 		}
 	}
-	s.cands[p.ID] = append(s.cands[p.ID], id)
+	s.candBuf[base+n] = id
+	s.candLen[p.ID]++
 	return true
 }
 
@@ -254,28 +400,30 @@ const maxCandidates = 12
 
 // generateCandidates seeds every port with the identity label for its
 // rank and propagates labels through node transfer functions and across
-// edges until fixpoint. Propagation is incremental: each edge remembers
-// how many of its endpoint's candidates it has already copied, and a node
-// re-derives labels only when one of its ports gained a candidate since
-// its last visit — so each fixpoint round touches only the new work, not
-// the whole graph.
+// edges until fixpoint. Propagation is incremental twice over: each edge
+// remembers how many of its endpoint's candidates it has already copied,
+// and each node transfer-function site (a directed port→port derivation)
+// keeps its own cursor into the source port's candidate list — so a node
+// revisit re-derives only from candidates that appeared since the site
+// last ran, never rescanning the whole set.
 func (s *asSolver) generateCandidates() error {
 	for _, p := range s.g.Ports {
-		s.addCand(p, identityLabel(p.Rank))
+		s.addCand(p, identityLabelCached(p.Rank))
 	}
-	srcDone := make([]int, len(s.g.Edges))
-	dstDone := make([]int, len(s.g.Edges))
-	lastSeen := make([]int, len(s.g.Nodes)) // Σ len(cands) over the node's ports
+	scr := s.scr
+	srcDone := scr.int32s(len(s.g.Edges))
+	dstDone := scr.int32s(len(s.g.Edges))
+	lastSeen := scr.int32s(len(s.g.Nodes)) // Σ candLen over the node's ports
 	for i := range lastSeen {
 		lastSeen[i] = -1
 	}
-	portSum := func(n *adg.Node) int {
-		c := 0
+	portSum := func(n *adg.Node) int32 {
+		var c int32
 		for _, p := range n.In {
-			c += len(s.cands[p.ID])
+			c += s.candLen[p.ID]
 		}
 		for _, p := range n.Out {
-			c += len(s.cands[p.ID])
+			c += s.candLen[p.ID]
 		}
 		return c
 	}
@@ -285,22 +433,22 @@ func (s *asSolver) generateCandidates() error {
 		// Across edges: copy only the candidates that appeared since the
 		// edge was last processed.
 		for _, e := range s.g.Edges {
-			src := s.cands[e.Src.ID]
+			src := s.cand(e.Src.ID)
 			for _, id := range src[srcDone[e.ID]:] {
 				l := s.tab.label(id)
 				if compatibleSpaces(l, e.Dst) && s.addCand(e.Dst, l) {
 					changed = true
 				}
 			}
-			srcDone[e.ID] = len(src)
-			dst := s.cands[e.Dst.ID]
+			srcDone[e.ID] = int32(len(src))
+			dst := s.cand(e.Dst.ID)
 			for _, id := range dst[dstDone[e.ID]:] {
 				l := s.tab.label(id)
 				if compatibleSpaces(l, e.Src) && s.addCand(e.Src, l) {
 					changed = true
 				}
 			}
-			dstDone[e.ID] = len(dst)
+			dstDone[e.ID] = int32(len(dst))
 		}
 		// Through nodes: transfer functions both ways, only where a port
 		// gained candidates.
@@ -318,14 +466,15 @@ func (s *asSolver) generateCandidates() error {
 	return nil
 }
 
-// candLabels materializes a port's candidate labels (used by the legacy
-// baseline solver and tests; the hot path works on IDs).
-func (s *asSolver) candLabels(p *adg.Port) []ASLabel {
-	out := make([]ASLabel, len(s.cands[p.ID]))
-	for i, id := range s.cands[p.ID] {
-		out[i] = s.tab.label(id)
+// candLabels materializes a port's candidate labels into dst, reusing
+// its storage (the hot path works on IDs; this is for callers that need
+// structural labels).
+func (s *asSolver) candLabels(p *adg.Port, dst []ASLabel) []ASLabel {
+	dst = dst[:0]
+	for _, id := range s.cand(p.ID) {
+		dst = append(dst, s.tab.label(id))
 	}
-	return out
+	return dst
 }
 
 // compatibleSpaces checks that a label's mobile strides only reference
@@ -352,25 +501,53 @@ func compatibleSpaces(l ASLabel, p *adg.Port) bool {
 	return true
 }
 
+// portAt returns the node's i-th port in row order (inputs then
+// outputs).
+func portAt(n *adg.Node, i int) *adg.Port {
+	if i < len(n.In) {
+		return n.In[i]
+	}
+	return n.Out[i-len(n.In)]
+}
+
 // propagateNode derives new candidate labels for a node's ports from the
-// labels of its other ports using the node's constraint.
+// labels of its other ports using the node's constraint. Each derivation
+// site consumes only the source candidates added since its last run
+// (tracked in siteDone); derivations are deterministic and addCand
+// rejections are permanent, so skipping the processed prefix yields
+// exactly the additions a full rescan would, in the same order.
 func (s *asSolver) propagateNode(n *adg.Node) bool {
 	changed := false
+	done := s.siteDone[s.siteOff[n.ID]:s.siteOff[n.ID+1]]
 	add := func(p *adg.Port, l ASLabel) {
 		if compatibleSpaces(l, p) && s.addCand(p, l) {
 			changed = true
 		}
 	}
+	// news returns the unprocessed suffix of port p's candidates for
+	// site si and advances the site's cursor.
+	news := func(si int, p *adg.Port) []int32 {
+		ids := s.cand(p.ID)
+		k := done[si]
+		done[si] = int32(len(ids))
+		return ids[k:]
+	}
 	switch n.Kind {
 	case adg.KindOp, adg.KindMerge, adg.KindFanout, adg.KindBranch:
 		// Equal labels on all ports of the same rank.
-		all := append(append([]*adg.Port{}, n.In...), n.Out...)
-		for _, p := range all {
-			for _, q := range all {
-				if p == q || p.Rank != q.Rank {
+		np := len(n.In) + len(n.Out)
+		for pi := 0; pi < np; pi++ {
+			p := portAt(n, pi)
+			ids := news(pi, p)
+			if len(ids) == 0 {
+				continue
+			}
+			for qi := 0; qi < np; qi++ {
+				q := portAt(n, qi)
+				if qi == pi || q.Rank != p.Rank {
 					continue
 				}
-				for _, id := range s.cands[p.ID] {
+				for _, id := range ids {
 					add(q, s.tab.label(id))
 				}
 			}
@@ -379,48 +556,48 @@ func (s *asSolver) propagateNode(n *adg.Node) bool {
 		// Strides transform by LIV substitution; same axis map.
 		in, out := n.In[0], n.Out[0]
 		x := n.Xform
-		for _, id := range s.cands[out.ID] {
+		for _, id := range news(0, out) {
 			if m, ok := xformInLabel(s.tab.label(id), x); ok {
 				add(in, m)
 			}
 		}
-		for _, id := range s.cands[in.ID] {
+		for _, id := range news(1, in) {
 			if m, ok := xformOutLabel(s.tab.label(id), x); ok {
 				add(out, m)
 			}
 		}
 	case adg.KindTranspose:
 		in, out := n.In[0], n.Out[0]
-		for _, id := range s.cands[in.ID] {
+		for _, id := range news(0, in) {
 			add(out, transposeLabel(s.tab.label(id)))
 		}
-		for _, id := range s.cands[out.ID] {
+		for _, id := range news(1, out) {
 			add(in, transposeLabel(s.tab.label(id)))
 		}
 	case adg.KindSection:
-		s.propagateSection(n, n.In[0], n.Out[0], &changed)
+		s.propagateSection(n, n.In[0], n.Out[0], done[0:2], &changed)
 	case adg.KindSectionAssign:
 		// out ~ in0 identical; in1 is the section of in0.
-		for _, id := range s.cands[n.In[0].ID] {
+		for _, id := range news(0, n.In[0]) {
 			add(n.Out[0], s.tab.label(id))
 		}
-		for _, id := range s.cands[n.Out[0].ID] {
+		for _, id := range news(1, n.Out[0]) {
 			add(n.In[0], s.tab.label(id))
 		}
-		s.propagateSection(n, n.In[0], n.In[1], &changed)
+		s.propagateSection(n, n.In[0], n.In[1], done[2:4], &changed)
 	case adg.KindSpread:
 		in, out := n.In[0], n.Out[0]
-		for _, id := range s.cands[in.ID] {
-			if m, ok := spreadLabel(s.tab.label(id), n.SpreadDim, s.g.TemplateRank); ok {
+		for _, id := range news(0, in) {
+			if m, ok := spreadLabelMark(s.tab.label(id), n.SpreadDim, s.g.TemplateRank, &s.scr.mark); ok {
 				add(out, m)
 			}
 		}
-		for _, id := range s.cands[out.ID] {
+		for _, id := range news(1, out) {
 			add(in, unspreadLabel(s.tab.label(id), n.SpreadDim))
 		}
 	case adg.KindReduce:
 		in, out := n.In[0], n.Out[0]
-		for _, id := range s.cands[in.ID] {
+		for _, id := range news(0, in) {
 			if n.ReduceDim == 0 {
 				continue
 			}
@@ -434,19 +611,25 @@ func (s *asSolver) propagateNode(n *adg.Node) bool {
 	return changed
 }
 
-func (s *asSolver) propagateSection(n *adg.Node, in, out *adg.Port, changed *bool) {
+func (s *asSolver) propagateSection(n *adg.Node, in, out *adg.Port, done []int32, changed *bool) {
 	add := func(p *adg.Port, l ASLabel) {
 		if compatibleSpaces(l, p) && s.addCand(p, l) {
 			*changed = true
 		}
 	}
-	for _, id := range s.cands[in.ID] {
+	ids := s.cand(in.ID)
+	k := done[0]
+	done[0] = int32(len(ids))
+	for _, id := range ids[k:] {
 		if m, ok := sectionLabel(s.tab.label(id), n.Section); ok {
 			add(out, m)
 		}
 	}
-	for _, id := range s.cands[out.ID] {
-		if m, ok := unsectionLabel(s.tab.label(id), n.Section, in.Rank); ok {
+	ids = s.cand(out.ID)
+	k = done[1]
+	done[1] = int32(len(ids))
+	for _, id := range ids[k:] {
+		if m, ok := unsectionLabelMark(s.tab.label(id), n.Section, in.Rank, &s.scr.mark); ok {
 			add(in, m)
 		}
 	}
@@ -479,8 +662,16 @@ func sectionLabel(l ASLabel, spec *adg.SectionSpec) (ASLabel, bool) {
 // is exact; other dims keep axis identity with stride 1 on an unused
 // template axis.
 func unsectionLabel(l ASLabel, spec *adg.SectionSpec, inRank int) (ASLabel, bool) {
+	var m axisMark
+	return unsectionLabelMark(l, spec, inRank, &m)
+}
+
+// unsectionLabelMark is unsectionLabel with the used-axis set tracked in
+// an epoch-stamped axisMark owned by the caller instead of a fresh
+// map[int]bool per call.
+func unsectionLabelMark(l ASLabel, spec *adg.SectionSpec, inRank int, m *axisMark) (ASLabel, bool) {
 	out := ASLabel{AxisMap: make([]int, inRank), Stride: make([]expr.Affine, inRank)}
-	used := map[int]bool{}
+	m.begin(inRank + 8)
 	j := 0
 	for d, sub := range spec.Subs {
 		if sub.IsVector {
@@ -493,7 +684,7 @@ func unsectionLabel(l ASLabel, spec *adg.SectionSpec, inRank int) (ASLabel, bool
 			}
 			out.AxisMap[d] = l.AxisMap[j]
 			out.Stride[d] = st
-			used[l.AxisMap[j]] = true
+			m.mark(l.AxisMap[j])
 			j++
 		}
 	}
@@ -502,11 +693,11 @@ func unsectionLabel(l ASLabel, spec *adg.SectionSpec, inRank int) (ASLabel, bool
 		if sub.IsRange {
 			continue
 		}
-		for used[next] {
+		for m.used(next) {
 			next++
 		}
 		out.AxisMap[d] = next
-		used[next] = true
+		m.mark(next)
 		out.Stride[d] = expr.Const(1)
 	}
 	return out, true
@@ -520,13 +711,20 @@ func transposeLabel(l ASLabel) ASLabel {
 }
 
 func spreadLabel(l ASLabel, dim, templateRank int) (ASLabel, bool) {
-	used := map[int]bool{}
+	var m axisMark
+	return spreadLabelMark(l, dim, templateRank, &m)
+}
+
+// spreadLabelMark is spreadLabel with the used-axis set tracked in an
+// epoch-stamped axisMark owned by the caller.
+func spreadLabelMark(l ASLabel, dim, templateRank int, m *axisMark) (ASLabel, bool) {
+	m.begin(templateRank + len(l.AxisMap) + 1)
 	for _, a := range l.AxisMap {
-		used[a] = true
+		m.mark(a)
 	}
 	newAxis := -1
 	for t := 0; t < templateRank; t++ {
-		if !used[t] {
+		if !m.used(t) {
 			newAxis = t
 			break
 		}
@@ -643,37 +841,50 @@ func divAffine(a, b expr.Affine) (expr.Affine, bool) {
 }
 
 // buildNodeConfigs enumerates, per node, the feasible joint labelings of
-// its ports drawn from the candidate sets, and precomputes the incidence
-// structure the optimization sweeps over.
+// its ports drawn from the candidate sets, and precomputes the flat
+// incidence, evaluation, and match tables the optimization runs on.
 func (s *asSolver) buildNodeConfigs() error {
-	s.cfgs = make([][]icfg, len(s.g.Nodes))
-	s.wts = make([]float64, len(s.g.Edges))
-	s.ends = make([][2]int32, len(s.g.Edges))
+	scr := s.scr
+	nN, nE := len(s.g.Nodes), len(s.g.Edges)
+	s.cfgOff = scr.int32s(nN)
+	s.cfgCnt = scr.int32s(nN)
+	s.cfgNIn = scr.int32s(nN)
+	s.cfgW = scr.int32s(nN)
+	s.wts = scr.floats(nE)
+	s.ends = scr.int32s(2 * nE)
 	for _, e := range s.g.Edges {
 		s.wts[e.ID] = e.ExpectedWeight()
-		s.ends[e.ID] = [2]int32{int32(e.Src.ID), int32(e.Dst.ID)}
+		s.ends[2*e.ID] = int32(e.Src.ID)
+		s.ends[2*e.ID+1] = int32(e.Dst.ID)
 	}
+	s.maxCfg = 0
 	for _, n := range s.g.Nodes {
-		cfgs := s.enumConfigs(n)
-		if len(cfgs) == 0 {
+		cnt := s.enumConfigs(n)
+		if cnt == 0 {
 			return fmt.Errorf("align: no feasible axis/stride configuration for node %d (%s %q)", n.ID, n.Kind, n.Label)
 		}
-		s.cfgs[n.ID] = cfgs
+		if cnt > s.maxCfg {
+			s.maxCfg = cnt
+		}
 	}
-	s.inc = make([][]incEdge, len(s.g.Nodes))
+	s.incOff = scr.int32s(nN + 1)
+	scr.inc = scr.inc[:0]
 	for _, n := range s.g.Nodes {
+		s.incOff[n.ID] = int32(len(scr.inc))
+		nIn := len(n.In)
 		for i, p := range n.In {
 			e := p.Edge
 			if e.Src.Node == n {
 				// Self-loop: register once, from the input side.
-				s.inc[n.ID] = append(s.inc[n.ID], incEdge{
+				scr.inc = append(scr.inc, incEdge{
 					w: s.wts[e.ID], eid: int32(e.ID), selfLoop: true,
-					selfOut: true, selfIdx: int32(e.Src.Index), dstIdx: int32(i),
+					selfPos: int32(nIn + e.Src.Index), dstPos: int32(i),
 				})
 				continue
 			}
-			s.inc[n.ID] = append(s.inc[n.ID], incEdge{
-				w: s.wts[e.ID], eid: int32(e.ID), peer: int32(e.Src.ID), selfOut: false, selfIdx: int32(i),
+			scr.inc = append(scr.inc, incEdge{
+				w: s.wts[e.ID], eid: int32(e.ID), peer: int32(e.Src.ID),
+				peerNode: int32(e.Src.Node.ID), selfPos: int32(i),
 			})
 		}
 		for i, p := range n.Out {
@@ -681,46 +892,99 @@ func (s *asSolver) buildNodeConfigs() error {
 			if e.Dst.Node == n {
 				continue // self-loop, already registered
 			}
-			s.inc[n.ID] = append(s.inc[n.ID], incEdge{
-				w: s.wts[e.ID], eid: int32(e.ID), peer: int32(e.Dst.ID), selfOut: true, selfIdx: int32(i),
+			scr.inc = append(scr.inc, incEdge{
+				w: s.wts[e.ID], eid: int32(e.ID), peer: int32(e.Dst.ID),
+				peerNode: int32(e.Dst.Node.ID), selfPos: int32(nIn + i),
 			})
+		}
+	}
+	s.incOff[nN] = int32(len(scr.inc))
+	s.inc = scr.inc
+	// Evaluation table: per node, per incident slot, the node-side value
+	// of every configuration.
+	s.evalOff = scr.int32s(nN + 1)
+	total := 0
+	for nid := 0; nid < nN; nid++ {
+		s.evalOff[nid] = int32(total)
+		total += int(s.incOff[nid+1]-s.incOff[nid]) * int(s.cfgCnt[nid])
+	}
+	s.evalOff[nN] = int32(total)
+	s.evalBuf = scr.int32s(total)
+	for nid := 0; nid < nN; nid++ {
+		C := int(s.cfgCnt[nid])
+		base := int(s.evalOff[nid])
+		incs := s.inc[s.incOff[nid]:s.incOff[nid+1]]
+		for k := range incs {
+			ie := &incs[k]
+			row := s.evalBuf[base+k*C : base+(k+1)*C]
+			for c := 0; c < C; c++ {
+				r := s.cfgRow(nid, int32(c))
+				if ie.selfLoop {
+					if r[ie.selfPos] != r[ie.dstPos] {
+						row[c] = 1
+					}
+				} else {
+					row[c] = r[ie.selfPos]
+				}
+			}
+		}
+	}
+	// Match table: first configuration carrying each (port, label) pair.
+	// Sized after enumeration — enumConfigs can intern labels candidate
+	// generation never admitted to a port.
+	s.nLabels = int32(s.tab.size())
+	s.matchBuf = scr.int32s(len(s.g.Ports) * int(s.nLabels))
+	for nid := 0; nid < nN; nid++ {
+		ports := s.nodePorts[s.portOff[nid]:s.portOff[nid+1]]
+		for ci := int32(0); ci < s.cfgCnt[nid]; ci++ {
+			row := s.cfgRow(nid, ci)
+			for i, pid := range ports {
+				idx := int(pid)*int(s.nLabels) + int(row[i])
+				if s.matchBuf[idx] == 0 {
+					s.matchBuf[idx] = ci + 1
+				}
+			}
 		}
 	}
 	return nil
 }
 
 // enumConfigs builds feasible configurations by choosing a label for the
-// node's "driver" port and deriving the rest via the constraint.
-// Configurations are tuples of interned label IDs, so deduplication is a
-// linear scan of integer compares — no string keys are built.
-func (s *asSolver) enumConfigs(n *adg.Node) []icfg {
-	var out []icfg
-	push := func(cfg icfg, ok bool) {
-		if !ok {
-			return
-		}
-		for _, c := range out {
-			if equalIDs(c.in, cfg.in) && equalIDs(c.out, cfg.out) {
+// node's "driver" port and deriving the rest via the constraint. Rows
+// are appended to the scratch's flat cfgBuf (deduplicated by a linear
+// scan of integer compares); the per-node count is returned.
+func (s *asSolver) enumConfigs(n *adg.Node) int {
+	scr := s.scr
+	nIn := len(n.In)
+	w := nIn + len(n.Out)
+	start := len(scr.cfgBuf)
+	nid := n.ID
+	s.cfgOff[nid] = int32(start)
+	s.cfgNIn[nid] = int32(nIn)
+	s.cfgW[nid] = int32(w)
+	if cap(scr.rowBuf) < w {
+		scr.rowBuf = make([]int32, w+8)
+	}
+	row := scr.rowBuf[:w]
+	count := 0
+	push := func() {
+		for c := 0; c < count; c++ {
+			if equalIDs(scr.cfgBuf[start+c*w:start+(c+1)*w], row) {
 				return
 			}
 		}
-		out = append(out, cfg)
+		scr.cfgBuf = append(scr.cfgBuf, row...)
+		count++
 	}
-	ilabel := func(rank int) int32 { return s.tab.intern(identityLabel(rank)) }
 	switch n.Kind {
 	case adg.KindSource, adg.KindSink:
 		p := n.In
 		if len(p) == 0 {
 			p = n.Out
 		}
-		for _, id := range s.cands[p[0].ID] {
-			cfg := icfg{}
-			if len(n.In) > 0 {
-				cfg.in = []int32{id}
-			} else {
-				cfg.out = []int32{id}
-			}
-			push(cfg, true)
+		for _, id := range s.cand(p[0].ID) {
+			row[0] = id
+			push()
 		}
 	case adg.KindOp, adg.KindMerge, adg.KindFanout, adg.KindBranch:
 		// All equal-rank ports share a label; lower-rank (scalar) ports
@@ -737,99 +1001,113 @@ func (s *asSolver) enumConfigs(n *adg.Node) []icfg {
 			}
 		}
 		driver := n.Out[0]
-		for _, id := range s.cands[driver.ID] {
+		for _, id := range s.cand(driver.ID) {
 			l := s.tab.label(id)
-			cfg := icfg{in: make([]int32, 0, len(n.In)), out: make([]int32, 0, len(n.Out))}
 			ok := true
-			for _, p := range n.In {
+			for i, p := range n.In {
 				if p.Rank == rank {
 					if !compatibleSpaces(l, p) {
 						ok = false
 						break
 					}
-					cfg.in = append(cfg.in, id)
+					row[i] = id
 				} else {
-					cfg.in = append(cfg.in, ilabel(p.Rank))
+					row[i] = s.ilab(p.Rank)
 				}
 			}
 			if !ok {
 				continue
 			}
-			for _, p := range n.Out {
+			for i, p := range n.Out {
 				if p.Rank == rank {
-					cfg.out = append(cfg.out, id)
+					row[nIn+i] = id
 				} else {
-					cfg.out = append(cfg.out, ilabel(p.Rank))
+					row[nIn+i] = s.ilab(p.Rank)
 				}
 			}
-			push(cfg, true)
+			push()
 		}
 	case adg.KindXform:
 		if n.Xform.Kind == adg.XformExit {
 			// The inner (input) side drives: the output is the input
 			// evaluated at the final iterate.
-			for _, id := range s.cands[n.In[0].ID] {
+			for _, id := range s.cand(n.In[0].ID) {
 				m, ok := xformOutLabel(s.tab.label(id), n.Xform)
 				if ok && compatibleSpaces(m, n.Out[0]) {
-					push(icfg{in: []int32{id}, out: []int32{s.tab.intern(m)}}, true)
+					row[0] = id
+					row[1] = s.tab.intern(m)
+					push()
 				}
 			}
 			break
 		}
-		for _, id := range s.cands[n.Out[0].ID] {
+		for _, id := range s.cand(n.Out[0].ID) {
 			m, ok := xformInLabel(s.tab.label(id), n.Xform)
 			if ok && compatibleSpaces(m, n.In[0]) {
-				push(icfg{in: []int32{s.tab.intern(m)}, out: []int32{id}}, true)
+				row[0] = s.tab.intern(m)
+				row[1] = id
+				push()
 			}
 		}
 	case adg.KindTranspose:
-		for _, id := range s.cands[n.In[0].ID] {
+		for _, id := range s.cand(n.In[0].ID) {
 			m := transposeLabel(s.tab.label(id))
-			push(icfg{in: []int32{id}, out: []int32{s.tab.intern(m)}}, true)
+			row[0] = id
+			row[1] = s.tab.intern(m)
+			push()
 		}
 	case adg.KindSection:
-		for _, id := range s.cands[n.In[0].ID] {
+		for _, id := range s.cand(n.In[0].ID) {
 			m, ok := sectionLabel(s.tab.label(id), n.Section)
 			if ok {
-				push(icfg{in: []int32{id}, out: []int32{s.tab.intern(m)}}, true)
+				row[0] = id
+				row[1] = s.tab.intern(m)
+				push()
 			}
 		}
 	case adg.KindSectionAssign:
-		for _, id := range s.cands[n.In[0].ID] {
+		for _, id := range s.cand(n.In[0].ID) {
 			m, ok := sectionLabel(s.tab.label(id), n.Section)
 			if ok {
-				push(icfg{in: []int32{id, s.tab.intern(m)}, out: []int32{id}}, true)
+				row[0] = id
+				row[1] = s.tab.intern(m)
+				row[2] = id
+				push()
 			}
 		}
 	case adg.KindSpread:
-		for _, id := range s.cands[n.In[0].ID] {
-			m, ok := spreadLabel(s.tab.label(id), n.SpreadDim, s.g.TemplateRank)
+		for _, id := range s.cand(n.In[0].ID) {
+			m, ok := spreadLabelMark(s.tab.label(id), n.SpreadDim, s.g.TemplateRank, &s.scr.mark)
 			if ok {
-				push(icfg{in: []int32{id}, out: []int32{s.tab.intern(m)}}, true)
+				row[0] = id
+				row[1] = s.tab.intern(m)
+				push()
 			}
 		}
 	case adg.KindReduce:
-		for _, id := range s.cands[n.In[0].ID] {
+		for _, id := range s.cand(n.In[0].ID) {
+			row[0] = id
 			if n.ReduceDim == 0 {
-				push(icfg{in: []int32{id}, out: []int32{ilabel(0)}}, true)
+				row[1] = s.ilab(0)
 			} else {
 				m := reduceLabel(s.tab.label(id), n.ReduceDim)
-				push(icfg{in: []int32{id}, out: []int32{s.tab.intern(m)}}, true)
+				row[1] = s.tab.intern(m)
 			}
+			push()
 		}
 	case adg.KindGather:
 		// Inputs and output keep their own labels; gather communication
 		// is intrinsic. Use identity everywhere as the single config.
-		cfg := icfg{}
-		for _, p := range n.In {
-			cfg.in = append(cfg.in, ilabel(p.Rank))
+		for i, p := range n.In {
+			row[i] = s.ilab(p.Rank)
 		}
-		for _, p := range n.Out {
-			cfg.out = append(cfg.out, ilabel(p.Rank))
+		for i, p := range n.Out {
+			row[nIn+i] = s.ilab(p.Rank)
 		}
-		push(cfg, true)
+		push()
 	}
-	return out
+	s.cfgCnt[nid] = int32(count)
+	return count
 }
 
 func equalIDs(a, b []int32) bool {
@@ -842,63 +1120,6 @@ func equalIDs(a, b []int32) bool {
 		}
 	}
 	return true
-}
-
-// startState is the mutable state of one optimization start: the current
-// configuration choice per node, the derived per-port label IDs, the
-// incrementally maintained total cost, and the dirty-node flags that make
-// a sweep touch only nodes whose neighborhood changed since their last
-// evaluation.
-type startState struct {
-	s     *asSolver
-	cfg   []int   // per node: index into s.cfgs[n]
-	lab   []int32 // per port: label ID under cfg
-	dirty []bool  // per node: must be re-evaluated
-	cost  float64
-	stats DPStats
-
-	// Scratch for expansion passes. trialCfg/trialLab mirror cfg/lab
-	// between trials (kept in sync by undoing rejected trials node by
-	// node); epoch stamps replace per-trial clearing of visited/edge-seen
-	// arrays, and changed records the trial's touched nodes so both the
-	// cost delta and the commit/undo are proportional to the wavefront,
-	// not the graph.
-	trialCfg  []int
-	trialLab  []int32
-	nodeEpoch []int32
-	edgeEpoch []int32
-	epoch     int32
-	changed   []int
-	queue     []int
-}
-
-func newStartState(s *asSolver, seed int) *startState {
-	st := &startState{
-		s:         s,
-		cfg:       make([]int, len(s.g.Nodes)),
-		lab:       make([]int32, len(s.g.Ports)),
-		dirty:     make([]bool, len(s.g.Nodes)),
-		trialCfg:  make([]int, len(s.g.Nodes)),
-		trialLab:  make([]int32, len(s.g.Ports)),
-		nodeEpoch: make([]int32, len(s.g.Nodes)),
-		edgeEpoch: make([]int32, len(s.g.Edges)),
-		changed:   make([]int, 0, len(s.g.Nodes)),
-		queue:     make([]int, 0, len(s.g.Nodes)),
-	}
-	for _, n := range s.g.Nodes {
-		switch {
-		case seed == 0:
-			st.cfg[n.ID] = 0
-		case seed == 1:
-			st.cfg[n.ID] = len(s.cfgs[n.ID]) - 1
-		default:
-			st.cfg[n.ID] = perturbIndex(seed, n.ID, len(s.cfgs[n.ID]))
-		}
-		st.applyLabels(n, st.cfg[n.ID], st.lab)
-		st.dirty[n.ID] = true
-	}
-	st.cost = s.totalCost(st.lab)
-	return st
 }
 
 // perturbIndex deterministically scatters restart seeds over the config
@@ -914,117 +1135,61 @@ func perturbIndex(seed, node, n int) int {
 	return int(x % uint64(n))
 }
 
-func (st *startState) applyLabels(n *adg.Node, cfgIdx int, lab []int32) {
-	cfg := st.s.cfgs[n.ID][cfgIdx]
-	for i, p := range n.In {
-		lab[p.ID] = cfg.in[i]
-	}
-	for i, p := range n.Out {
-		lab[p.ID] = cfg.out[i]
-	}
-}
-
-// incidentCost is the discrete cost of the node's incident edges under
-// configuration cfg with all neighbors fixed at lab. Self-loop edges are
-// counted once and read both endpoints from cfg.
-func (st *startState) incidentCost(nid int, cfg icfg) float64 {
-	var c float64
-	for _, ie := range st.s.inc[nid] {
-		if ie.selfLoop {
-			if cfg.out[ie.selfIdx] != cfg.in[ie.dstIdx] {
-				c += ie.w
-			}
-			continue
-		}
-		if cfg.labelAt(ie.selfOut, ie.selfIdx) != st.lab[ie.peer] {
-			c += ie.w
-		}
-	}
-	return c
-}
-
-// sweepOnce runs one best-response sweep over the dirty nodes in
-// deterministic order (forward on even sweeps, backward on odd ones, as
-// in the classic full-sweep schedule). A move updates the node's port
-// labels and the running total cost by the incident-cost delta, and marks
-// the node's neighbors dirty. Returns whether any move was made.
-func (st *startState) sweepOnce(sweep int) bool {
-	s := st.s
-	moved := false
-	nn := len(s.g.Nodes)
-	for k := 0; k < nn; k++ {
-		nid := k
-		if sweep%2 == 1 {
-			nid = nn - 1 - k
-		}
-		if !st.dirty[nid] {
-			continue
-		}
-		st.dirty[nid] = false
-		cfgs := s.cfgs[nid]
-		cur := st.cfg[nid]
-		curCost := st.incidentCost(nid, cfgs[cur])
-		bestIdx, bestCost := cur, curCost
-		for ci := range cfgs {
-			if ci == cur {
-				continue
-			}
-			if c := st.incidentCost(nid, cfgs[ci]); c < bestCost {
-				bestIdx, bestCost = ci, c
-			}
-		}
-		st.stats.Evals += int64(len(cfgs))
-		if bestIdx == cur {
-			continue
-		}
-		st.cfg[nid] = bestIdx
-		st.applyLabels(s.g.Nodes[nid], bestIdx, st.lab)
-		st.cost += bestCost - curCost
-		st.stats.Moves++
-		moved = true
-		for _, ie := range s.inc[nid] {
-			if !ie.selfLoop {
-				st.dirty[s.g.Ports[ie.peer].Node.ID] = true
-			}
-		}
-	}
-	return moved
-}
-
 // optimize chooses a configuration per node minimizing the total
 // discrete-metric edge cost: multi-start iterated best-response (two
 // canonical seeds plus perturbed restarts), augmented with
 // chain-expansion moves (re-labeling a whole zero-cost region at once)
-// that escape the local optima single-node moves cannot — e.g. flipping
-// an entire array's def-use chain to the opposite template axis. The
-// starts run concurrently on a bounded worker pool; the winner is the
-// lowest-cost start with the lowest seed index, so the outcome is
-// identical at every parallelism level.
+// that escape the local optima single-node moves cannot. All start
+// states are carved from the scratch arena up front (disjoint regions),
+// then the starts run concurrently on a bounded worker pool; the winner
+// is the lowest-cost start with the lowest seed index, so the outcome is
+// identical at every parallelism level. With PruneSlack > 0 the two
+// canonical seeds run first and perturbed restarts are abandoned once
+// their incumbent cost exceeds (1+PruneSlack)·min(canonical costs) — a
+// cutoff fixed before any restart runs, so pruning is deterministic too.
 func (s *asSolver) optimize(opts AxisStrideOptions) (DPStats, error) {
 	nStarts := 2 + opts.Restarts
-	states := make([]*startState, nStarts)
-	run := func(seed int) {
-		st := newStartState(s, seed)
-		st.stats.Starts = 1
-		st.run(opts.ctx)
-		states[seed] = st
+	scr := s.scr
+	if cap(scr.states) < nStarts {
+		scr.states = make([]dpState, nStarts)
 	}
-	if par := min(opts.Parallelism, nStarts); par <= 1 {
-		for seed := 0; seed < nStarts; seed++ {
-			run(seed)
+	scr.states = scr.states[:nStarts]
+	states := scr.states
+	for i := range states {
+		s.carveState(&states[i])
+	}
+	runWave := func(lo, hi int, pruneAt float64) {
+		if par := min(opts.Parallelism, hi-lo); par <= 1 {
+			for seed := lo; seed < hi; seed++ {
+				states[seed].init(seed)
+				states[seed].run(opts.ctx, pruneAt)
+			}
+			return
+		} else {
+			var wg sync.WaitGroup
+			sem := make(chan struct{}, par)
+			for seed := lo; seed < hi; seed++ {
+				wg.Add(1)
+				sem <- struct{}{}
+				go func(seed int) {
+					defer func() { <-sem; wg.Done() }()
+					states[seed].init(seed)
+					states[seed].run(opts.ctx, pruneAt)
+				}(seed)
+			}
+			wg.Wait()
 		}
+	}
+	noPrune := math.Inf(1)
+	if opts.PruneSlack > 0 && nStarts > 2 {
+		runWave(0, 2, noPrune)
+		ref := states[0].cost
+		if states[1].cost < ref {
+			ref = states[1].cost
+		}
+		runWave(2, nStarts, ref*(1+opts.PruneSlack))
 	} else {
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, par)
-		for seed := 0; seed < nStarts; seed++ {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(seed int) {
-				defer func() { <-sem; wg.Done() }()
-				run(seed)
-			}(seed)
-		}
-		wg.Wait()
+		runWave(0, nStarts, noPrune)
 	}
 	// A canceled solve returns the context's error rather than a labeling
 	// chosen from aborted starts (their trajectories stopped early, so the
@@ -1032,171 +1197,30 @@ func (s *asSolver) optimize(opts AxisStrideOptions) (DPStats, error) {
 	if opts.ctx != nil {
 		if err := opts.ctx.Err(); err != nil {
 			var stats DPStats
-			for _, st := range states {
-				stats.add(st.stats)
+			for i := range states {
+				stats.add(states[i].stats)
 			}
 			return stats, err
 		}
 	}
 	best := 0
 	var stats DPStats
-	for seed, st := range states {
-		stats.add(st.stats)
-		if st.cost < states[best].cost {
-			best = seed
+	for i := range states {
+		stats.add(states[i].stats)
+		if states[i].cost < states[best].cost {
+			best = i
 		}
 	}
 	s.best = states[best].cfg
+	s.bestLab = states[best].lab
 	return stats, nil
-}
-
-// run drives one start to a local optimum: best-response sweeps to
-// quiescence, then expansion passes, iterated while either improves.
-// Edge weights are nonnegative, so zero cost is a global lower bound:
-// a start that reaches it is optimal and stops immediately. A done
-// context stops the start between sweeps and between rounds; the
-// caller (optimize) reports the cancellation, so an aborted start's
-// partial labeling is never selected.
-func (st *startState) run(ctx context.Context) {
-	canceled := func() bool { return ctx != nil && ctx.Err() != nil }
-	for round := 0; round < 12; round++ {
-		improved := false
-		for sweep := 0; sweep < 60; sweep++ {
-			if canceled() {
-				return
-			}
-			st.stats.Sweeps++
-			if !st.sweepOnce(sweep) {
-				break
-			}
-			improved = true
-		}
-		if st.cost == 0 || canceled() {
-			return
-		}
-		if st.expansionPass() {
-			improved = true
-		}
-		if !improved || st.cost == 0 {
-			break
-		}
-	}
-}
-
-// expansionPass tries, for every node and every alternative configuration,
-// to re-label the node and greedily propagate matching configurations
-// across its incident edges (a wavefront that keeps propagated edges at
-// zero cost); the whole move is accepted if it lowers the total cost.
-// Instead of copying the full state and re-summing every edge per trial,
-// the pass keeps trialCfg/trialLab mirroring cfg/lab, stamps wavefront
-// nodes with an epoch counter, and computes the cost change as a delta
-// over only the edges incident to the wavefront (deduplicated by a
-// per-edge epoch stamp). Rejected trials are undone node by node, so the
-// cost of a trial is proportional to its wavefront, not the graph.
-func (st *startState) expansionPass() bool {
-	s := st.s
-	improvedAny := false
-	copy(st.trialCfg, st.cfg)
-	copy(st.trialLab, st.lab)
-	for _, n := range s.g.Nodes {
-		// An improving expansion must turn some violated edge zero-cost,
-		// and its wavefront grows outward from the seed node — so only
-		// nodes already touching a violated edge are worth seeding from.
-		if st.incidentCost(n.ID, s.cfgs[n.ID][st.cfg[n.ID]]) == 0 {
-			continue
-		}
-		for ci := range s.cfgs[n.ID] {
-			if ci == st.cfg[n.ID] {
-				continue
-			}
-			st.epoch++
-			st.changed = st.changed[:0]
-			st.trialCfg[n.ID] = ci
-			st.applyLabels(n, ci, st.trialLab)
-			st.nodeEpoch[n.ID] = st.epoch
-			st.changed = append(st.changed, n.ID)
-			st.queue = append(st.queue[:0], n.ID)
-			for len(st.queue) > 0 {
-				uid := st.queue[0]
-				st.queue = st.queue[1:]
-				for _, ie := range s.inc[uid] {
-					if ie.selfLoop {
-						continue
-					}
-					peerPort := s.g.Ports[ie.peer]
-					vid := peerPort.Node.ID
-					if st.nodeEpoch[vid] == st.epoch {
-						continue
-					}
-					want := s.cfgs[uid][st.trialCfg[uid]].labelAt(ie.selfOut, ie.selfIdx)
-					if st.trialLab[ie.peer] == want {
-						continue
-					}
-					// Find a config of v matching `want` at the peer port.
-					for vci, vc := range s.cfgs[vid] {
-						if vc.labelAt(peerPort.Output, int32(peerPort.Index)) == want {
-							st.trialCfg[vid] = vci
-							st.applyLabels(peerPort.Node, vci, st.trialLab)
-							st.nodeEpoch[vid] = st.epoch
-							st.changed = append(st.changed, vid)
-							st.queue = append(st.queue, vid)
-							break
-						}
-					}
-				}
-			}
-			// Delta over edges incident to the wavefront; every other
-			// edge has both endpoints unchanged.
-			var delta float64
-			for _, uid := range st.changed {
-				for _, ie := range s.inc[uid] {
-					if st.edgeEpoch[ie.eid] == st.epoch {
-						continue
-					}
-					st.edgeEpoch[ie.eid] = st.epoch
-					ends := s.ends[ie.eid]
-					if (st.lab[ends[0]] != st.lab[ends[1]]) != (st.trialLab[ends[0]] != st.trialLab[ends[1]]) {
-						if st.trialLab[ends[0]] != st.trialLab[ends[1]] {
-							delta += ie.w
-						} else {
-							delta -= ie.w
-						}
-					}
-				}
-			}
-			if delta < 0 {
-				// Commit: fold the wavefront into cfg/lab and mark the
-				// changed nodes and their neighbors for re-evaluation.
-				for _, uid := range st.changed {
-					st.cfg[uid] = st.trialCfg[uid]
-					st.applyLabels(s.g.Nodes[uid], st.trialCfg[uid], st.lab)
-					st.dirty[uid] = true
-					for _, ie := range s.inc[uid] {
-						if !ie.selfLoop {
-							st.dirty[s.g.Ports[ie.peer].Node.ID] = true
-						}
-					}
-				}
-				st.cost += delta
-				st.stats.ExpansionAccepts++
-				improvedAny = true
-			} else {
-				// Undo: restore the mirror from the committed state.
-				for _, uid := range st.changed {
-					st.trialCfg[uid] = st.cfg[uid]
-					st.applyLabels(s.g.Nodes[uid], st.cfg[uid], st.trialLab)
-				}
-			}
-		}
-	}
-	return improvedAny
 }
 
 func (s *asSolver) totalCost(lab []int32) float64 {
 	var c float64
-	for _, e := range s.g.Edges {
-		if lab[e.Src.ID] != lab[e.Dst.ID] {
-			c += s.wts[e.ID]
+	for eid := 0; eid < len(s.wts); eid++ {
+		if lab[s.ends[2*eid]] != lab[s.ends[2*eid+1]] {
+			c += s.wts[eid]
 		}
 	}
 	return c

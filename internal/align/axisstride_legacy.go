@@ -16,7 +16,7 @@ import (
 // speedup gate (and as an oracle: it must find a labeling no better than
 // the production solver's). New code should call AxisStride.
 func AxisStrideLegacy(g *adg.Graph) (*AxisStrideResult, error) {
-	s := &asSolver{g: g, tab: newInternTable(), cands: make([][]int32, len(g.Ports))}
+	s := &inSolver{g: g, tab: newInternTable(), cands: make([][]int32, len(g.Ports))}
 	if err := s.generateCandidates(); err != nil {
 		return nil, err
 	}
@@ -53,18 +53,25 @@ func AxisStrideLegacy(g *adg.Graph) (*AxisStrideResult, error) {
 }
 
 type legacySolver struct {
-	g    *adg.Graph
-	s    *asSolver // candidate sets (shared generation)
-	cfgs [][]legacyConfig
-	best []legacyConfig
-	wts  map[int]float64
+	g       *adg.Graph
+	s       *inSolver // candidate sets (shared generation)
+	cfgs    [][]legacyConfig
+	best    []legacyConfig
+	wts     map[int]float64
+	scratch []ASLabel // candLabels fill buffer, reused across calls
 }
 
 type legacyConfig struct {
 	in, out []ASLabel
 }
 
-func (ls *legacySolver) cands(p *adg.Port) []ASLabel { return ls.s.candLabels(p) }
+// cands materializes a port's candidates into the solver's reusable
+// scratch; safe because enumeration never holds two ports' candidate
+// lists at once and labels are copied by value into configurations.
+func (ls *legacySolver) cands(p *adg.Port) []ASLabel {
+	ls.scratch = ls.s.candLabels(p, ls.scratch)
+	return ls.scratch
+}
 
 // enumConfigs is the pre-interning enumeration: configurations are
 // deduplicated by a string key rebuilt from every label.

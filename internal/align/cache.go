@@ -390,11 +390,11 @@ func cacheKey(g *adg.Graph, opts Options) string {
 	// cores may legitimately round different ones (equal approximate
 	// objective, different alignments), so runs under different forced
 	// engines must not share cache entries.
-	fmt.Fprintf(h, "o|%d;%d;%d;%d;%v;%v;%d;%d;%d;%v;",
+	fmt.Fprintf(h, "o|%d;%d;%d;%d;%v;%v;%d;%d;%d;%v;%g;",
 		opts.Offset.Strategy, opts.Offset.M, opts.Offset.MaxRefine,
 		opts.Offset.UnrollCap, opts.Offset.Static,
 		opts.Replication, opts.ReplicationRounds, opts.AxisStride.Restarts,
-		opts.Offset.Engine, opts.Offset.NoNetPath)
+		opts.Offset.Engine, opts.Offset.NoNetPath, opts.AxisStride.PruneSlack)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

@@ -34,7 +34,7 @@ func TestInternZeroAlloc(t *testing.T) {
 
 // TestSweepZeroAlloc asserts the best-response hot path — incident-cost
 // evaluation and move application over the dirty worklist — runs
-// allocation-free once a start's state exists.
+// allocation-free once a start's flat state is carved.
 func TestSweepZeroAlloc(t *testing.T) {
 	g := mustGraph(t, `
 real B(64,48), C(48,64), D(64,48)
@@ -45,17 +45,19 @@ do k = 1, 8
   B = D * 2
 enddo
 `)
-	s := &asSolver{g: g, tab: newInternTable(), cands: make([][]int32, len(g.Ports))}
+	s := newASSolver(g, newInternTable(), newDPScratch())
 	if err := s.generateCandidates(); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.buildNodeConfigs(); err != nil {
 		t.Fatal(err)
 	}
-	st := newStartState(s, 0)
+	var st dpState
+	s.carveState(&st)
+	st.init(0)
 	allocs := testing.AllocsPerRun(100, func() {
-		for i := range st.dirty {
-			st.dirty[i] = true
+		for nid := range s.g.Nodes {
+			st.markDirty(int32(nid))
 		}
 		st.sweepOnce(0)
 		st.sweepOnce(1)

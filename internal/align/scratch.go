@@ -20,14 +20,26 @@ import (
 type scratchPool struct {
 	interns sync.Pool // *internTable
 	arenas  sync.Pool // *lp.Arena
+	dps     sync.Pool // *dpScratch
+}
+
+// defaultScratch serves callers that reach a solver without a
+// scheduler-owned pool (direct AxisStride calls, tests): they still get
+// warm-path pooling instead of per-solve allocation.
+var defaultScratch scratchPool
+
+// orDefault resolves a possibly-nil pool to the package default.
+func (sp *scratchPool) orDefault() *scratchPool {
+	if sp == nil {
+		return &defaultScratch
+	}
+	return sp
 }
 
 // getIntern returns a reset intern table, reusing a pooled one when
 // available.
 func (sp *scratchPool) getIntern() *internTable {
-	if sp == nil {
-		return newInternTable()
-	}
+	sp = sp.orDefault()
 	if t, ok := sp.interns.Get().(*internTable); ok {
 		t.reset()
 		return t
@@ -40,8 +52,27 @@ func (sp *scratchPool) getIntern() *internTable {
 // only the table's own slots, never the label contents those copies
 // share.
 func (sp *scratchPool) putIntern(t *internTable) {
-	if sp != nil && t != nil {
-		sp.interns.Put(t)
+	if t != nil {
+		sp.orDefault().interns.Put(t)
+	}
+}
+
+// getDP returns a flat DP state arena for one §3 solve, reusing a
+// pooled one when available. newASSolver resets it before carving.
+func (sp *scratchPool) getDP() *dpScratch {
+	sp = sp.orDefault()
+	if d, ok := sp.dps.Get().(*dpScratch); ok {
+		return d
+	}
+	return newDPScratch()
+}
+
+// putDP returns a DP arena to the pool. The caller must guarantee the
+// solve that carved from it is finished (AxisStrideOpts copies the
+// winning labels out before releasing).
+func (sp *scratchPool) putDP(d *dpScratch) {
+	if d != nil {
+		sp.orDefault().dps.Put(d)
 	}
 }
 
@@ -49,9 +80,7 @@ func (sp *scratchPool) putIntern(t *internTable) {
 // available. The arena's storage is reused as-is; lp.Arena zeroes each
 // carved slice itself.
 func (sp *scratchPool) getArena() *lp.Arena {
-	if sp == nil {
-		return lp.NewArena()
-	}
+	sp = sp.orDefault()
 	if a, ok := sp.arenas.Get().(*lp.Arena); ok {
 		return a
 	}
@@ -63,8 +92,8 @@ func (sp *scratchPool) getArena() *lp.Arena {
 // live tableau still reads the arena's storage (true once the owning
 // lp.Problems are dead).
 func (sp *scratchPool) putArena(a *lp.Arena) {
-	if sp != nil && a != nil {
+	if a != nil {
 		a.Reset()
-		sp.arenas.Put(a)
+		sp.orDefault().arenas.Put(a)
 	}
 }

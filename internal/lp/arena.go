@@ -56,16 +56,25 @@ func (s *Stats) Add(o Stats) {
 // its basis (KeepBasis) stores the retained tableau in its arena, so do
 // not share one arena between problems that keep bases.
 type Arena struct {
-	f  []float64
-	fi int
-	i  []int
-	ii int
+	f   []float64
+	fi  int
+	i   []int
+	ii  int
+	i3  []int32
+	i3i int
+
+	// sp is the sparse core's resident state: the solver value whose
+	// FTRAN/BTRAN vectors, flat eta file, and pricing scratch persist
+	// across solves, plus form-construction scratch. It rides the same
+	// pool handoff as the carved blocks (Reset), but is length-checked
+	// on reuse rather than cursor-rewound.
+	sp sparseScratch
 }
 
 // NewArena returns an empty arena.
 func NewArena() *Arena { return &Arena{} }
 
-func (ar *Arena) reset() { ar.fi, ar.ii = 0, 0 }
+func (ar *Arena) reset() { ar.fi, ar.ii, ar.i3i = 0, 0, 0 }
 
 // Reset rewinds the arena so the next carve reuses its blocks from the
 // start. It is the pool-handoff point for arenas recycled across
@@ -91,6 +100,26 @@ func (ar *Arena) floats(n int) []float64 {
 	}
 	s := ar.f[ar.fi : ar.fi+n : ar.fi+n]
 	ar.fi += n
+	for j := range s {
+		s[j] = 0
+	}
+	return s
+}
+
+func (ar *Arena) int32s(n int) []int32 {
+	if ar.i3i+n > len(ar.i3) {
+		sz := 2 * len(ar.i3)
+		if sz < n {
+			sz = n
+		}
+		if sz < 256 {
+			sz = 256
+		}
+		ar.i3 = make([]int32, sz)
+		ar.i3i = 0
+	}
+	s := ar.i3[ar.i3i : ar.i3i+n : ar.i3i+n]
+	ar.i3i += n
 	for j := range s {
 		s[j] = 0
 	}

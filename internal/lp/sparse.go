@@ -123,9 +123,13 @@ type sparseWarmState struct {
 // with θ = (u+v)/2, halving those rows and giving each of u, v half of
 // θ's cost. The substitution is an exact linear reparameterization, so
 // objective values and feasibility transfer.
-func (p *Problem) buildSparseForm() *spForm {
+// The form's big arrays (CSC storage, RHS vectors, partner map) are
+// carved from ar, so a pooled arena reaches a steady state where cold
+// solves stop allocating; transient build scratch lives in ar.sp.
+func (p *Problem) buildSparseForm(ar *Arena) *spForm {
+	sp := &ar.sp
 	nv := len(p.names)
-	occ := make([]int, nv)
+	occ := growInt(&sp.occ, nv)
 	for _, c := range p.cons {
 		for v := range c.coefs {
 			occ[v]++
@@ -133,9 +137,9 @@ func (p *Problem) buildSparseForm() *spForm {
 	}
 
 	// pairOf[i]: 0 plain row, k+1 first row of pair k, -1 consumed.
-	pairOf := make([]int, len(p.cons))
+	pairOf := growInt(&sp.pairOf, len(p.cons))
 	var uvTheta []VarID
-	merged := make([]bool, nv)
+	merged := growBool(&sp.merged, nv)
 	for i := 0; i+1 < len(p.cons); i++ {
 		if pairOf[i] != 0 {
 			continue
@@ -173,8 +177,8 @@ func (p *Problem) buildSparseForm() *spForm {
 
 	// Structural columns: free variables split, merged θs dropped.
 	var cols []colref
-	colOf := make([]int, nv)
-	negColOf := make([]int, nv)
+	colOf := growInt(&sp.colOf, nv)
+	negColOf := growInt(&sp.negColOf, nv)
 	for v := 0; v < nv; v++ {
 		if merged[v] {
 			colOf[v], negColOf[v] = -1, -1
@@ -204,22 +208,22 @@ func (p *Problem) buildSparseForm() *spForm {
 	}
 	artStart := slackStart + nSlack
 
-	type ent struct {
-		col int32
-		val float64
-	}
-	rows := make([][]ent, 0, nRows)
-	b2 := make([]float64, 0, nRows)
-	initBas := make([]int, 0, nRows)
-	artUsed := make([]bool, 0, nRows)
+	// Rows are built into one flat entry buffer (entBuf) with row r's
+	// entries at [rowOff[r], rowOff[r+1]) — the pooled replacement for
+	// a [][]ent with one heap slice per constraint.
+	entBuf := sp.entBuf[:0]
+	rowOff := append(sp.rowOff[:0], 0)
+	b2 := ar.floats(nRows)
+	initBas := ar.ints(nRows)
+	artUsed := make([]bool, nRows)
 	slackIdx := slackStart
+	r := 0
 	for i := range p.cons {
 		if pairOf[i] == -1 {
 			continue
 		}
 		c := &p.cons[i]
-		r := len(rows)
-		var es []ent
+		start := len(entBuf)
 		if k := pairOf[i]; k > 0 {
 			pi := k - 1
 			theta := uvTheta[pi]
@@ -235,19 +239,20 @@ func (p *Problem) buildSparseForm() *spForm {
 				}
 			}
 			inv := 1 / rowMax
-			es = append(es,
-				ent{col: int32(nStruct + 2*pi), val: inv},
-				ent{col: int32(nStruct + 2*pi + 1), val: -inv})
+			entBuf = append(entBuf,
+				spEnt{col: int32(nStruct + 2*pi), val: inv},
+				spEnt{col: int32(nStruct + 2*pi + 1), val: -inv})
 			for v, a := range c.coefs {
 				if v == theta {
 					continue
 				}
 				cv := -2 * a * inv
-				es = append(es, ent{col: int32(colOf[v]), val: cv})
+				entBuf = append(entBuf, spEnt{col: int32(colOf[v]), val: cv})
 				if negColOf[v] >= 0 {
-					es = append(es, ent{col: int32(negColOf[v]), val: -cv})
+					entBuf = append(entBuf, spEnt{col: int32(negColOf[v]), val: -cv})
 				}
 			}
+			es := entBuf[start:]
 			rhs := -2 * c.rhs * inv
 			basic := nStruct + 2*pi // u carries coefficient +inv
 			if rhs < 0 {
@@ -257,10 +262,10 @@ func (p *Problem) buildSparseForm() *spForm {
 				rhs = -rhs
 				basic = nStruct + 2*pi + 1 // the flip makes w positive
 			}
-			rows = append(rows, es)
-			b2 = append(b2, rhs)
-			initBas = append(initBas, basic)
-			artUsed = append(artUsed, false)
+			rowOff = append(rowOff, int32(len(entBuf)))
+			b2[r] = rhs
+			initBas[r] = basic
+			r++
 			continue
 		}
 		// Plain row: mirror the dense construction — scale the
@@ -279,9 +284,9 @@ func (p *Problem) buildSparseForm() *spForm {
 		rhs := c.rhs * inv
 		for v, a := range c.coefs {
 			cv := a * inv
-			es = append(es, ent{col: int32(colOf[v]), val: cv})
+			entBuf = append(entBuf, spEnt{col: int32(colOf[v]), val: cv})
 			if negColOf[v] >= 0 {
-				es = append(es, ent{col: int32(negColOf[v]), val: -cv})
+				entBuf = append(entBuf, spEnt{col: int32(negColOf[v]), val: -cv})
 			}
 		}
 		slackCol := -1
@@ -292,8 +297,9 @@ func (p *Problem) buildSparseForm() *spForm {
 			if c.op == GE {
 				sv = -1
 			}
-			es = append(es, ent{col: int32(slackCol), val: sv})
+			entBuf = append(entBuf, spEnt{col: int32(slackCol), val: sv})
 		}
+		es := entBuf[start:]
 		if rhs < 0 {
 			for j := range es {
 				es[j].val = -es[j].val
@@ -301,49 +307,48 @@ func (p *Problem) buildSparseForm() *spForm {
 			rhs = -rhs
 		}
 		if slackCol >= 0 && es[len(es)-1].val == 1 {
-			initBas = append(initBas, slackCol)
-			artUsed = append(artUsed, false)
+			initBas[r] = slackCol
 		} else {
-			initBas = append(initBas, artStart+r)
-			artUsed = append(artUsed, true)
+			initBas[r] = artStart + r
+			artUsed[r] = true
 		}
-		rows = append(rows, es)
-		b2 = append(b2, rhs)
+		rowOff = append(rowOff, int32(len(entBuf)))
+		b2[r] = rhs
+		r++
 	}
+	sp.entBuf, sp.rowOff = entBuf, rowOff
 
 	// Assemble the CSC matrix. Iterating rows in order makes each
 	// column's entries row-sorted and the layout deterministic even
 	// though per-row map iteration is not.
-	counts := make([]int32, artStart)
-	for _, es := range rows {
-		for _, e := range es {
-			counts[e.col]++
-		}
+	counts := growInt32(&sp.counts, artStart)
+	for _, e := range entBuf {
+		counts[e.col]++
 	}
-	colPtr := make([]int32, artStart+1)
+	colPtr := ar.int32s(artStart + 1)
 	for j := 0; j < artStart; j++ {
 		colPtr[j+1] = colPtr[j] + counts[j]
 	}
-	rowInd := make([]int32, colPtr[artStart])
-	vals := make([]float64, colPtr[artStart])
-	next := make([]int32, artStart)
+	rowInd := ar.int32s(int(colPtr[artStart]))
+	vals := ar.floats(int(colPtr[artStart]))
+	next := growInt32(&sp.next, artStart)
 	copy(next, colPtr[:artStart])
-	for r, es := range rows {
-		for _, e := range es {
+	for rr := 0; rr < nRows; rr++ {
+		for _, e := range entBuf[rowOff[rr]:rowOff[rr+1]] {
 			k := next[e.col]
 			next[e.col]++
-			rowInd[k] = int32(r)
+			rowInd[k] = int32(rr)
 			vals[k] = e.val
 		}
 	}
 
 	// Deterministic RHS perturbation, as in the dense core: pivoting
 	// reads the perturbed b, solutions read the exact b2.
-	b := make([]float64, nRows)
+	b := ar.floats(nRows)
 	for i := range b {
 		b[i] = b2[i] + 1e-7*float64(i+1)/float64(nRows+1)
 	}
-	partner := make([]int32, artStart+nRows)
+	partner := ar.int32s(artStart + nRows)
 	for j := range partner {
 		partner[j] = -1
 	}
@@ -380,34 +385,140 @@ func (f *spForm) colDot(j int, y []float64) float64 {
 }
 
 // spEta is one eta matrix of the basis factorization: identity except
-// column r, which holds diag at row r and val at rows ind.
+// column r, which holds diag at row r and the solver's shared
+// etaInd/etaVal entries in [start, end) at their rows. Keeping every
+// eta's off-diagonal entries in two flat arrays (instead of two heap
+// slices per eta) lets the whole file be truncated and rebuilt at each
+// refactorization without freeing or allocating anything.
 type spEta struct {
-	r    int32
-	diag float64
-	ind  []int32
-	val  []float64
+	r          int32
+	diag       float64
+	start, end int32
 }
 
 // spSolver is the mutable state of one sparse solve: the current basis,
 // its eta-file factorization, and the basic solution for both the
-// perturbed and exact right-hand sides.
+// perturbed and exact right-hand sides. A solver owned by an Arena
+// (sparseScratch.sol) keeps its buffers across solves, so warm
+// re-optimizations run without heap allocation.
 type spSolver struct {
-	f       *spForm
-	basis   []int
-	etas    []spEta
-	dirty   int // pivots since the last refactorization
-	xB, xB2 []float64
-	work    []float64
-	y       []float64
-	stats   *Stats
+	f        *spForm
+	basis    []int
+	etas     []spEta
+	etaInd   []int32   // shared eta off-diagonal rows
+	etaVal   []float64 // shared eta off-diagonal values
+	dirty    int       // pivots since the last refactorization
+	xB, xB2  []float64
+	work     []float64
+	y        []float64
+	skip     []bool // pricing scratch (per phase)
+	inBasis  []bool
+	oldBasis []int // refactor scratch
+	used     []bool
+	stats    *Stats
 }
 
-func newSpSolver(f *spForm, basis []int, stats *Stats) *spSolver {
-	return &spSolver{
-		f: f, basis: basis, stats: stats,
-		xB: make([]float64, f.m), xB2: make([]float64, f.m),
-		work: make([]float64, f.m), y: make([]float64, f.m),
+// sparseScratch is the sparse core's reusable state, owned by an Arena
+// and recycled through the same pool point as the dense tableau
+// storage (align's scratchPool hands arenas around via Arena.Reset).
+// sol holds the per-solve solver whose buffers — FTRAN/BTRAN work
+// vectors, the flat eta file, pricing scratch — persist between solves;
+// the remaining fields are form-construction scratch. None of this is
+// rewound by Arena.Reset: the buffers are length-checked on reuse.
+type sparseScratch struct {
+	sol      spSolver
+	cost     []float64 // phase cost vector
+	occ      []int     // form build: variable occurrence counts
+	pairOf   []int
+	colOf    []int
+	negColOf []int
+	merged   []bool
+	counts   []int32 // CSC assembly
+	next     []int32
+	entBuf   []spEnt // flat row-major constraint entries
+	rowOff   []int32 // row r's entries at entBuf[rowOff[r]:rowOff[r+1]]
+}
+
+// spEnt is one constraint-matrix entry during form construction.
+type spEnt struct {
+	col int32
+	val float64
+}
+
+// growF64 returns buf resized to n, zeroed, reusing its storage when
+// the capacity suffices (the sparse core's ensure-length reuse point).
+func growF64(buf *[]float64, n int) []float64 {
+	s := *buf
+	if cap(s) < n {
+		s = make([]float64, n)
+	} else {
+		s = s[:n]
+		for i := range s {
+			s[i] = 0
+		}
 	}
+	*buf = s
+	return s
+}
+
+func growBool(buf *[]bool, n int) []bool {
+	s := *buf
+	if cap(s) < n {
+		s = make([]bool, n)
+	} else {
+		s = s[:n]
+		for i := range s {
+			s[i] = false
+		}
+	}
+	*buf = s
+	return s
+}
+
+func growInt(buf *[]int, n int) []int {
+	s := *buf
+	if cap(s) < n {
+		s = make([]int, n)
+	} else {
+		s = s[:n]
+		for i := range s {
+			s[i] = 0
+		}
+	}
+	*buf = s
+	return s
+}
+
+func growInt32(buf *[]int32, n int) []int32 {
+	s := *buf
+	if cap(s) < n {
+		s = make([]int32, n)
+	} else {
+		s = s[:n]
+		for i := range s {
+			s[i] = 0
+		}
+	}
+	*buf = s
+	return s
+}
+
+// newSpSolver readies the arena's resident solver for a solve: buffers
+// are length-checked against this form and reused, the eta file is
+// truncated. The returned solver is only valid until the next
+// newSpSolver call on the same arena.
+func newSpSolver(f *spForm, basis []int, stats *Stats, ar *Arena) *spSolver {
+	s := &ar.sp.sol
+	s.f, s.basis, s.stats = f, basis, stats
+	s.dirty = 0
+	s.etas = s.etas[:0]
+	s.etaInd = s.etaInd[:0]
+	s.etaVal = s.etaVal[:0]
+	s.xB = growF64(&s.xB, f.m)
+	s.xB2 = growF64(&s.xB2, f.m)
+	s.work = growF64(&s.work, f.m)
+	s.y = growF64(&s.y, f.m)
+	return s
 }
 
 // unpackCol scatters column j into the dense vector out.
@@ -435,8 +546,10 @@ func (s *spSolver) ftran(x []float64) {
 		}
 		xr /= et.diag
 		x[et.r] = xr
-		for k, i := range et.ind {
-			x[i] -= et.val[k] * xr
+		ind := s.etaInd[et.start:et.end]
+		val := s.etaVal[et.start:et.end]
+		for k, i := range ind {
+			x[i] -= val[k] * xr
 		}
 	}
 }
@@ -446,8 +559,10 @@ func (s *spSolver) btran(y []float64) {
 	for e := len(s.etas) - 1; e >= 0; e-- {
 		et := &s.etas[e]
 		sum := y[et.r]
-		for k, i := range et.ind {
-			sum -= et.val[k] * y[i]
+		ind := s.etaInd[et.start:et.end]
+		val := s.etaVal[et.start:et.end]
+		for k, i := range ind {
+			sum -= val[k] * y[i]
 		}
 		y[et.r] = sum / et.diag
 	}
@@ -458,16 +573,15 @@ func (s *spSolver) btran(y []float64) {
 // from earlier eliminations and are discarded; the periodic
 // refactorization bounds the resulting drift.
 func (s *spSolver) appendEta(r int, w []float64) {
-	var ind []int32
-	var val []float64
+	start := int32(len(s.etaInd))
 	for i, wi := range w {
 		if i == r || math.Abs(wi) < 1e-12 {
 			continue
 		}
-		ind = append(ind, int32(i))
-		val = append(val, wi)
+		s.etaInd = append(s.etaInd, int32(i))
+		s.etaVal = append(s.etaVal, wi)
 	}
-	s.etas = append(s.etas, spEta{r: int32(r), diag: w[r], ind: ind, val: val})
+	s.etas = append(s.etas, spEta{r: int32(r), diag: w[r], start: start, end: int32(len(s.etaInd))})
 }
 
 // refactor rebuilds the eta file from the current basis columns and
@@ -479,12 +593,15 @@ func (s *spSolver) appendEta(r int, w []float64) {
 func (s *spSolver) refactor() bool {
 	m := s.f.m
 	s.etas = s.etas[:0]
+	s.etaInd = s.etaInd[:0]
+	s.etaVal = s.etaVal[:0]
 	s.dirty = 0
 	if s.stats != nil {
 		s.stats.Refactors++
 	}
-	oldBasis := append([]int(nil), s.basis...)
-	used := make([]bool, m)
+	s.oldBasis = append(s.oldBasis[:0], s.basis...)
+	oldBasis := s.oldBasis
+	used := growBool(&s.used, m)
 	w := s.work
 	for _, j := range oldBasis {
 		s.unpackCol(j, w)
@@ -531,12 +648,12 @@ func (s *spSolver) runPhase(cost []float64, limit int, maxIter int64, ctx contex
 	if !s.refactor() {
 		return pivots, errSingular(m)
 	}
-	skip := make([]bool, f.nTotal)
+	skip := growBool(&s.skip, f.nTotal)
 	// Basic columns must never price in: the dense tableau keeps their
 	// reduced costs identically zero, but the eta file only keeps them
 	// near zero — drift past eps would re-admit a basic column, putting
 	// a duplicate in the basis (singular at the next refactorization).
-	inBasis := make([]bool, f.nTotal)
+	inBasis := growBool(&s.inBasis, f.nTotal)
 	for _, bj := range s.basis {
 		inBasis[bj] = true
 	}
@@ -693,7 +810,7 @@ func (s *spSolver) runPhase(cost []float64, limit int, maxIter int64, ctx contex
 // the artificial can never move.
 func (s *spSolver) driveOut() {
 	f := s.f
-	inBasis := make([]bool, f.nTotal)
+	inBasis := growBool(&s.inBasis, f.nTotal)
 	for _, bj := range s.basis {
 		inBasis[bj] = true
 	}
@@ -771,8 +888,8 @@ func (s *spSolver) checkStuckArts() error {
 // carry the variable costs (split by sign for free variables), each u/w
 // pair splits its θ's cost in half, and artificials that entered the
 // initial basis are forbidden from re-entering.
-func sparsePhase2Cost(p *Problem, f *spForm) []float64 {
-	cost := make([]float64, f.nTotal)
+func sparsePhase2Cost(p *Problem, f *spForm, ar *Arena) []float64 {
+	cost := growF64(&ar.sp.cost, f.nTotal)
 	for j, cr := range f.cols {
 		cost[j] = p.costs[cr.orig] * cr.sign
 	}
@@ -814,7 +931,16 @@ func (p *Problem) sparseExtract(f *spForm, basis []int, xB2 []float64) *Solution
 func (p *Problem) solveSparse() (*Solution, error) {
 	p.ws = nil // this solve's retained basis (if any) is sparse
 	p.sws = nil
-	f := p.buildSparseForm()
+	// Cold solves rewind the arena cursor like the dense core; the
+	// form's carved arrays then survive for any number of warm solves
+	// (warmSolveSparse never resets).
+	ar := p.arena
+	if ar == nil {
+		ar = &Arena{}
+	} else {
+		ar.reset()
+	}
+	f := p.buildSparseForm(ar)
 	if p.stats != nil {
 		p.stats.Solves++
 		p.stats.SparseSolves++
@@ -829,7 +955,7 @@ func (p *Problem) solveSparse() (*Solution, error) {
 		return p.sparseExtract(f, nil, nil), nil
 	}
 	basis := append([]int(nil), f.initBas...)
-	s := newSpSolver(f, basis, p.stats)
+	s := newSpSolver(f, basis, p.stats, ar)
 	anyArt := false
 	for _, u := range f.artUsed {
 		if u {
@@ -838,7 +964,9 @@ func (p *Problem) solveSparse() (*Solution, error) {
 		}
 	}
 	if anyArt {
-		cost1 := make([]float64, f.nTotal)
+		// Phase 1 and phase 2 run sequentially and fully overwrite the
+		// cost vector, so both phases share the arena's cost buffer.
+		cost1 := growF64(&ar.sp.cost, f.nTotal)
 		for r, u := range f.artUsed {
 			if u {
 				cost1[f.artStart+r] = 1
@@ -866,7 +994,7 @@ func (p *Problem) solveSparse() (*Solution, error) {
 		}
 		s.driveOut()
 	}
-	cost := sparsePhase2Cost(p, f)
+	cost := sparsePhase2Cost(p, f, ar)
 	t0 := now()
 	piv, err := s.runPhase(cost, f.artStart, maxIter, ctx)
 	if p.stats != nil {
@@ -906,9 +1034,14 @@ func (p *Problem) warmSolveSparse() (*Solution, error) {
 		}
 	}
 	// sws.basis is shared with the solver, so the end-of-solve basis is
-	// retained for the next warm start automatically.
-	s := newSpSolver(f, sws.basis, p.stats)
-	cost := sparsePhase2Cost(p, f)
+	// retained for the next warm start automatically. The arena is NOT
+	// reset here: the retained form's arrays live in it.
+	ar := p.arena
+	if ar == nil {
+		ar = &Arena{}
+	}
+	s := newSpSolver(f, sws.basis, p.stats, ar)
+	cost := sparsePhase2Cost(p, f, ar)
 	t0 := now()
 	piv, err := s.runPhase(cost, f.artStart, maxIter, ctx)
 	if p.stats != nil {

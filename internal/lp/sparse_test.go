@@ -186,7 +186,7 @@ func TestSparseThetaPairMerge(t *testing.T) {
 		p.AddConstraint(map[VarID]float64{t2: 1, b: -1}, GE, 0)
 		return p
 	}
-	f := build().buildSparseForm()
+	f := build().buildSparseForm(NewArena())
 	if len(f.uvTheta) != 2 {
 		t.Fatalf("merged %d θ pairs, want 2", len(f.uvTheta))
 	}

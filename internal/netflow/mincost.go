@@ -1,8 +1,8 @@
 package netflow
 
 import (
-	"container/heap"
 	"math"
+	"sync"
 )
 
 // DiffTerm is one weighted absolute-difference term W·|y[U] − y[V] + D|
@@ -11,6 +11,48 @@ type DiffTerm struct {
 	U, V int
 	W    float64 // weight ≥ 0
 	D    int64   // constant displacement
+}
+
+// mcArc is one residual arc; its twin (reverse direction) is at
+// index arc^1.
+type mcArc struct {
+	to   int
+	cap  float64 // residual capacity
+	cost int64   // cost per unit in residual direction
+}
+
+// mcScratch is the reusable working set of one SolvePotentialsCounted
+// call: arcs, the CSR adjacency over them, excess/potential/Dijkstra
+// arrays, and the frontier heap's storage. Recycled through a package
+// pool so steady-state solves (one per axis per refinement round)
+// allocate only the returned potentials.
+type mcScratch struct {
+	arcs    []mcArc
+	cnt     []int32 // per-node arc counts, then CSR fill cursors
+	headOff []int32 // node v's arcs at headArc[headOff[v]:headOff[v+1]]
+	headArc []int32
+	excess  []float64
+	pi      []int64
+	dist    []int64
+	reached []bool
+	prevArc []int32
+	pq      mcHeap
+}
+
+var mcPool = sync.Pool{New: func() any { return new(mcScratch) }}
+
+// grow returns buf resized to n and zeroed, reusing its storage when
+// the capacity suffices.
+func grow[T any](buf *[]T, n int) []T {
+	s := *buf
+	if cap(s) < n {
+		s = make([]T, n)
+	} else {
+		s = s[:n]
+		clear(s)
+	}
+	*buf = s
+	return s
 }
 
 // SolvePotentials minimizes Σ_t W_t·|y[U_t] − y[V_t] + D_t| over integer
@@ -42,22 +84,17 @@ func SolvePotentials(n int, terms []DiffTerm) (y []int64, obj float64, ok bool) 
 // simplex pivot count, for effort accounting).
 func SolvePotentialsCounted(n int, terms []DiffTerm) (y []int64, obj float64, augments int64, ok bool) {
 	const capEps = 1e-12
-	type arc struct {
-		to   int
-		cap  float64 // residual capacity
-		cost int64   // cost per unit in residual direction
-	}
+	scr := mcPool.Get().(*mcScratch)
+	defer mcPool.Put(scr)
 	// Two directed arcs per term (g = f_fwd − f_bwd), each followed by
 	// its residual twin at arc^1.
-	arcs := make([]arc, 0, 4*len(terms))
-	head := make([][]int32, n)
+	arcs := scr.arcs[:0]
 	addArc := func(u, v int, capacity float64, cost int64) {
-		head[u] = append(head[u], int32(len(arcs)))
-		arcs = append(arcs, arc{to: v, cap: capacity, cost: cost})
-		head[v] = append(head[v], int32(len(arcs)))
-		arcs = append(arcs, arc{to: u, cap: 0, cost: -cost})
+		arcs = append(arcs,
+			mcArc{to: v, cap: capacity, cost: cost},
+			mcArc{to: u, cap: 0, cost: -cost})
 	}
-	excess := make([]float64, n)
+	excess := grow(&scr.excess, n)
 	for _, t := range terms {
 		if t.W <= capEps || t.U == t.V {
 			continue // constant contribution; caller accounts for it
@@ -83,11 +120,33 @@ func SolvePotentialsCounted(n int, terms []DiffTerm) (y []int64, obj float64, au
 			}
 		}
 	}
+	scr.arcs = arcs
 
-	pi := make([]int64, n)
-	dist := make([]int64, n)
-	reached := make([]bool, n)
-	prevArc := make([]int32, n)
+	// CSR adjacency. Arc j leaves the node its twin points back to, and
+	// filling in ascending j keeps each node's list in arc insertion
+	// order — the same order the per-node append lists used to have, so
+	// Dijkstra tie-breaking (and the chosen optimum) is unchanged.
+	nArcs := len(arcs)
+	cnt := grow(&scr.cnt, n)
+	for j := 0; j < nArcs; j++ {
+		cnt[arcs[j^1].to]++
+	}
+	headOff := grow(&scr.headOff, n+1)
+	for v := 0; v < n; v++ {
+		headOff[v+1] = headOff[v] + cnt[v]
+	}
+	headArc := grow(&scr.headArc, nArcs)
+	copy(cnt, headOff[:n]) // reuse as fill cursors
+	for j := 0; j < nArcs; j++ {
+		u := arcs[j^1].to
+		headArc[cnt[u]] = int32(j)
+		cnt[u]++
+	}
+
+	pi := grow(&scr.pi, n)
+	dist := grow(&scr.dist, n)
+	reached := grow(&scr.reached, n)
+	prevArc := grow(&scr.prevArc, n)
 	const unreached = math.MaxInt64
 
 	// Successive shortest paths: route excess to deficit along reduced-
@@ -116,10 +175,11 @@ func SolvePotentialsCounted(n int, terms []DiffTerm) (y []int64, obj float64, au
 			prevArc[v] = -1
 		}
 		dist[s] = 0
-		pq := &mcHeap{{0, int32(s)}}
+		pq := &scr.pq
+		*pq = append((*pq)[:0], mcItem{0, int32(s)})
 		t := -1
-		for pq.Len() > 0 {
-			it := heap.Pop(pq).(mcItem)
+		for len(*pq) > 0 {
+			it := pq.pop()
 			v := int(it.node)
 			if reached[v] {
 				continue
@@ -129,7 +189,7 @@ func SolvePotentialsCounted(n int, terms []DiffTerm) (y []int64, obj float64, au
 				t = v
 				break
 			}
-			for _, ai := range head[v] {
+			for _, ai := range headArc[headOff[v]:headOff[v+1]] {
 				a := arcs[ai]
 				if a.cap <= capEps || reached[a.to] {
 					continue
@@ -138,7 +198,7 @@ func SolvePotentialsCounted(n int, terms []DiffTerm) (y []int64, obj float64, au
 				if nd < dist[a.to] {
 					dist[a.to] = nd
 					prevArc[a.to] = ai
-					heap.Push(pq, mcItem{nd, int32(a.to)})
+					pq.push(mcItem{nd, int32(a.to)})
 				}
 			}
 		}
@@ -212,19 +272,48 @@ type mcItem struct {
 
 type mcHeap []mcItem
 
-func (h mcHeap) Len() int { return len(h) }
-func (h mcHeap) Less(i, j int) bool {
+func (h mcHeap) less(i, j int) bool {
 	if h[i].dist != h[j].dist {
 		return h[i].dist < h[j].dist
 	}
 	return h[i].node < h[j].node
 }
-func (h mcHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *mcHeap) Push(x any)   { *h = append(*h, x.(mcItem)) }
-func (h *mcHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
+
+// push and pop are container/heap's algorithms specialized to mcItem —
+// same sift order (so identical pop sequences and unchanged tie-breaks)
+// without boxing every pushed item in an interface.
+func (h *mcHeap) push(it mcItem) {
+	s := append(*h, it)
+	*h = s
+	for j := len(s) - 1; j > 0; {
+		i := (j - 1) / 2
+		if !s.less(j, i) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+}
+
+func (h *mcHeap) pop() mcItem {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	for i := 0; ; {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && s.less(j2, j) {
+			j = j2
+		}
+		if !s.less(j, i) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+	it := s[n]
+	*h = s[:n]
 	return it
 }
