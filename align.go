@@ -56,6 +56,14 @@ type Options struct {
 	// program skips every solver. Share one cache across AlignSource /
 	// AlignProgram calls; see NewCache.
 	Cache *Cache
+	// Partition enables incremental, compositional solving: each weakly
+	// connected component of the program's ADG is content-addressed and
+	// cached on its own (requires Cache), so editing one independent
+	// computation re-solves only that component — the rest are warm
+	// region hits — and components become the parallelism grain. The
+	// computed alignment is byte-identical with Partition on or off at
+	// every Parallelism setting.
+	Partition bool
 	// MaxLPIter, when > 0, caps the simplex pivots of every offset LP
 	// solve; a solve that exhausts the budget fails with an error
 	// wrapping lp.ErrBudget instead of spinning. 0 means a generous
@@ -146,6 +154,7 @@ func (o Options) alignOptions() align.Options {
 		Replication:       o.Replication,
 		ReplicationRounds: o.ReplicationRounds,
 		Cache:             o.Cache,
+		Partition:         o.Partition,
 		MaxLPIter:         o.MaxLPIter,
 	}
 }
@@ -282,6 +291,13 @@ func (r *Result) Report() string {
 		dp.Starts, dp.Labels, dp.Configs, dp.Sweeps, dp.Moves, dp.Evals, dp.ExpansionAccepts)
 	if r.Align.CacheHit {
 		b.WriteString("pipeline cache: hit (solvers skipped)\n")
+	}
+	if r.Align.Regions > 1 {
+		// The count is a structural property of the program (identical
+		// with Options.Partition on or off); region cache hits are not
+		// printed here — they vary with cache warmth, and reports must
+		// stay byte-identical across the Partition toggle.
+		fmt.Fprintf(&b, "regions: %d independent components\n", r.Align.Regions)
 	}
 	fmt.Fprintf(&b, "replication broadcast volume: %d\n", r.Align.Repl.Broadcast)
 	fmt.Fprintf(&b, "offset LP: %d vars, %d constraints, %d solves, approx cost %.0f\n",

@@ -873,3 +873,102 @@ func BenchmarkBatchThroughput(b *testing.B) {
 		b.ReportMetric(float64(shared), "flight-shared")
 	})
 }
+
+// incrementalEditSrc composes n independent loop components into one
+// program; component `edited` gets shift 2+v%4000 in place of the base
+// shift 1, so every (edited, v) revision is a distinct one-line edit
+// whose other n-1 components hash to the same region keys as the base.
+// The 5000-element arrays keep ~4000 distinct shifts in bounds, so
+// revision keys do not recur within any plausible benchmark run.
+func incrementalEditSrc(n, edited int, v int64) string {
+	decls := make([]string, n)
+	var body strings.Builder
+	for i := 0; i < n; i++ {
+		e := int64(1)
+		if i == edited {
+			e = 2 + v%4000
+		}
+		decls[i] = fmt.Sprintf("P%d(5000), Q%d(5000)", i, i)
+		fmt.Fprintf(&body, "do k = 1, 40\n  P%d(k:k+19) = P%d(k:k+19) + Q%d(k+%d:k+%d)\nenddo\n",
+			i, i, i, e, e+19)
+	}
+	return "real " + strings.Join(decls, ", ") + "\n" + body.String()
+}
+
+// BenchmarkIncrementalEdit — the compositional layer (E16): with
+// Options.Partition on, a one-line edit to a 16-component program
+// re-solves only the edited region and serves the other 15 from the
+// per-region content cache. ns/op times the 1-edit re-solve against a
+// warm cache; the gate requires it ≥ 5× faster than a full cold
+// re-solve of the same revision (both paths pay parse+analyze+build, so
+// the ratio understates the solver-only saving). Every revision is a
+// never-before-seen variant: the whole-program key always misses, which
+// is exactly the edit-stream shape (see cmd/alignc -editstream).
+func BenchmarkIncrementalEdit(b *testing.B) {
+	const comps = 16
+	opts := DefaultOptions()
+	opts.Partition = true
+
+	rev := int64(0)
+	next := func() string {
+		rev++
+		return incrementalEditSrc(comps, int(rev)%comps, rev)
+	}
+
+	// Cold: each revision solved from scratch into a fresh cache.
+	cold := minTime(b, 3, 2, func() error {
+		o := opts
+		o.Cache = NewCache(0)
+		res, err := AlignSource(next(), o)
+		if err == nil && res.Align.Regions != comps {
+			err = fmt.Errorf("cold solve split into %d regions, want %d", res.Align.Regions, comps)
+		}
+		return err
+	})
+
+	// Warm: prime the shared cache with the base program, then solve a
+	// fresh one-line revision per call. The first post-prime edit is
+	// deterministic (the cache holds exactly the base entries): it must
+	// hit all comps-1 untouched regions and miss the whole-program key.
+	opts.Cache = NewCache(1024)
+	if _, err := AlignSource(incrementalEditSrc(comps, -1, 0), opts); err != nil {
+		b.Fatal(err)
+	}
+	first, err := AlignSource(next(), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if first.Align.CacheHit || first.Align.RegionHits != comps-1 {
+		b.Fatalf("first edit after priming: CacheHit=%v RegionHits=%d, want false and %d",
+			first.Align.CacheHit, first.Align.RegionHits, comps-1)
+	}
+	var hits, edits int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := AlignSource(next(), opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hits += int64(res.Align.RegionHits)
+		edits++
+	}
+	b.StopTimer()
+	warm := minTime(b, 3, 2, func() error {
+		res, err := AlignSource(next(), opts)
+		if err == nil {
+			hits += int64(res.Align.RegionHits)
+			edits++
+		}
+		return err
+	})
+
+	speedup := float64(cold) / float64(warm)
+	b.ReportMetric(speedup, "edit-speedup")
+	b.ReportMetric(float64(hits)/float64(edits*comps), "region-hit-rate")
+	b.ReportMetric(cold.Seconds()*1e3/2, "cold-ms")
+	b.ReportMetric(warm.Seconds()*1e3/2, "edit-ms")
+	if speedup < 5 {
+		b.Errorf("1-edit re-solve speedup %.2fx < 5x over full cold solve (cold %v, edit %v)",
+			speedup, cold, warm)
+	}
+}

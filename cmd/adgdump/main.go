@@ -1,21 +1,25 @@
 // Command adgdump parses a program and prints its alignment-distribution
-// graph: node/edge listing by default, Graphviz DOT with -dot.
+// graph: node/edge listing by default, Graphviz DOT with -dot, and the
+// partition diagnostics the compositional solver uses with -regions.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
+	"repro/internal/adg"
 	"repro/internal/build"
 	"repro/internal/lang"
 )
 
 func main() {
 	dot := flag.Bool("dot", false, "emit Graphviz DOT")
+	regions := flag.Bool("regions", false, "print per-region partition stats (components, histograms, articulation points, bridges)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: adgdump [-dot] file.dp")
+		fmt.Fprintln(os.Stderr, "usage: adgdump [-dot] [-regions] file.dp")
 		os.Exit(2)
 	}
 	data, err := os.ReadFile(flag.Arg(0))
@@ -38,6 +42,10 @@ func main() {
 		fmt.Print(g.Dot())
 		return
 	}
+	if *regions {
+		dumpRegions(g)
+		return
+	}
 	fmt.Println(g.Stats())
 	for _, e := range g.Edges {
 		fmt.Printf("e%-3d %-14s %-24q -> %-14s %-24q w=%v space=%v\n",
@@ -45,6 +53,85 @@ func main() {
 			e.Dst.Node.Kind.String(), e.Dst.Node.Label,
 			e.Weight(), e.Space().LIVs)
 	}
+}
+
+// dumpRegions prints how the compositional solver would decompose the
+// program: one line per region (weakly connected component) with its
+// size and the parent IDs it covers, node/edge-count histograms across
+// regions, and the articulation points and bridges inside components —
+// the sites a finer cut rule could split, reported so partition quality
+// is inspectable even though the solver does not cut there (such cuts
+// carry alignment constraints; see internal/adg/partition.go).
+func dumpRegions(g *adg.Graph) {
+	part := adg.PartitionGraph(g)
+	fmt.Printf("%s\n%d regions\n", g.Stats(), len(part.Regions))
+	nodeHist := map[int]int{}
+	edgeHist := map[int]int{}
+	for i, r := range part.Regions {
+		nodeHist[len(r.Graph.Nodes)]++
+		edgeHist[len(r.Graph.Edges)]++
+		fmt.Printf("region %-3d %3d nodes %3d edges  parent nodes %s\n",
+			i, len(r.Graph.Nodes), len(r.Graph.Edges), idRange(r.Nodes))
+	}
+	fmt.Printf("node histogram: %s\n", histogram(nodeHist))
+	fmt.Printf("edge histogram: %s\n", histogram(edgeHist))
+	arts, bridges := adg.CutDiagnostics(g)
+	fmt.Printf("articulation points: %d", len(arts))
+	for _, id := range arts {
+		n := g.Nodes[id]
+		fmt.Printf("  n%d(%s %q)", id, n.Kind, n.Label)
+	}
+	fmt.Println()
+	fmt.Printf("bridges: %d", len(bridges))
+	for _, id := range bridges {
+		e := g.Edges[id]
+		fmt.Printf("  e%d(%q->%q)", id, e.Src.Node.Label, e.Dst.Node.Label)
+	}
+	fmt.Println()
+}
+
+// idRange compacts a sorted ID list into "0-4,7,9-12" form.
+func idRange(ids []int) string {
+	if len(ids) == 0 {
+		return "-"
+	}
+	out := ""
+	for i := 0; i < len(ids); {
+		j := i
+		for j+1 < len(ids) && ids[j+1] == ids[j]+1 {
+			j++
+		}
+		if out != "" {
+			out += ","
+		}
+		if j > i {
+			out += fmt.Sprintf("%d-%d", ids[i], ids[j])
+		} else {
+			out += fmt.Sprintf("%d", ids[i])
+		}
+		i = j + 1
+	}
+	return out
+}
+
+// histogram renders "size×count" pairs in ascending size order.
+func histogram(h map[int]int) string {
+	sizes := make([]int, 0, len(h))
+	for s := range h {
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+	out := ""
+	for _, s := range sizes {
+		if out != "" {
+			out += " "
+		}
+		out += fmt.Sprintf("%d×%d", s, h[s])
+	}
+	if out == "" {
+		return "-"
+	}
+	return out
 }
 
 func fatal(err error) {

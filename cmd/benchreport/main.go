@@ -41,6 +41,7 @@ func main() {
 	snap.Batch = e13()
 	snap.OffsetEngine = e14()
 	snap.FlatState = e15()
+	snap.Incremental = e16()
 	if *jsonPath != "" {
 		writeSnapshot(*jsonPath, snap)
 	}
@@ -237,8 +238,11 @@ enddo
 // v3 — per-solver LP breakdown (sparse solves, network solves, flow
 // augmentations, refactorizations) and the E14 offset-engine rows;
 // v4 — the E15 flat-state rows (steady-state allocs/op and B/op of the
-// pooled DP solver, flat-vs-interned speedup, PruneSlack effect).
-const schemaVersion = 4
+// pooled DP solver, flat-vs-interned speedup, PruneSlack effect);
+// v5 — the E16 incremental row (compositional solve of a multi-region
+// program: cold solve, warm whole-program repeat, 1-edit re-solve, and
+// the per-region cache hit rate of the edit).
+const schemaVersion = 5
 
 // Snapshot is the machine-readable record benchreport writes alongside
 // the text report, so the perf trajectory (phase times, DP and LP effort,
@@ -252,6 +256,23 @@ type Snapshot struct {
 	Batch         BatchSnapshot          `json:"batch"`
 	OffsetEngine  []OffsetEngineSnapshot `json:"offset_engine"`
 	FlatState     []FlatStateSnapshot    `json:"flat_state"`
+	Incremental   IncrementalSnapshot    `json:"incremental"`
+}
+
+// IncrementalSnapshot is the E16 row: the compositional layer on a
+// multi-region program. ColdNs is a full solve into an empty cache,
+// WarmRepeatNs an unchanged re-solve (whole-program key hit), OneEditNs
+// a never-seen one-line revision (the whole key misses, every untouched
+// region hits). RegionHitRate is RegionHits/Regions of the edit —
+// (Regions-1)/Regions when the cut is perfect.
+type IncrementalSnapshot struct {
+	Regions       int     `json:"regions"`
+	ColdNs        int64   `json:"cold_ns"`
+	WarmRepeatNs  int64   `json:"warm_repeat_ns"`
+	OneEditNs     int64   `json:"one_edit_ns"`
+	RegionHits    int     `json:"region_hits"`
+	RegionHitRate float64 `json:"region_hit_rate"`
+	EditSpeedup   float64 `json:"edit_speedup"`
 }
 
 // FlatStateSnapshot is one E15 row: the §3 solver's steady-state
@@ -665,6 +686,81 @@ func e15() []FlatStateSnapshot {
 			fmt.Sprintf("%v, %d starts pruned", prunedT.Round(time.Microsecond), prunedStarts))
 	}
 	return out
+}
+
+// incrementalSrc mirrors the bench harness generator (see
+// BenchmarkIncrementalEdit): n independent loop components whose ADG
+// regions are pairwise disjoint; component `edited` gets section shift
+// 2+v in place of the base shift 1, a one-line edit that leaves the
+// other n-1 region content keys unchanged.
+func incrementalSrc(n, edited int, v int64) string {
+	decls, body := "", ""
+	for i := 0; i < n; i++ {
+		e := int64(1)
+		if i == edited {
+			e = 2 + v
+		}
+		if i > 0 {
+			decls += ", "
+		}
+		decls += fmt.Sprintf("P%d(5000), Q%d(5000)", i, i)
+		body += fmt.Sprintf("do k = 1, 40\n  P%d(k:k+19) = P%d(k:k+19) + Q%d(k+%d:k+%d)\nenddo\n",
+			i, i, i, e, e+19)
+	}
+	return "real " + decls + "\n" + body
+}
+
+// e16 measures the compositional layer of this PR: a 16-component
+// program solved cold, repeated unchanged (whole-program key hit), and
+// re-solved after a one-line edit — the edit must re-solve only its own
+// region and serve the other 15 from the per-region cache. The ≥5×
+// edit-vs-cold ratio is gated by BenchmarkIncrementalEdit; this records
+// the measured trajectory.
+func e16() IncrementalSnapshot {
+	const comps = 16
+	opts := repro.DefaultOptions()
+	opts.Partition = true
+	opts.Cache = repro.NewCache(1024)
+	base := incrementalSrc(comps, -1, 0)
+	var cold *repro.Result
+	coldT := timeIt(func() { cold = compile(base, opts) })
+	if cold.Align.Regions != comps {
+		fail(fmt.Errorf("E16: cold solve split into %d regions, want %d", cold.Align.Regions, comps))
+	}
+	var warm *repro.Result
+	warmT := timeIt(func() { warm = compile(base, opts) })
+	if !warm.Align.CacheHit {
+		fail(fmt.Errorf("E16: unchanged repeat missed the whole-program key"))
+	}
+	// Five distinct one-line revisions (each a never-seen whole-program
+	// key); keep the fastest run — the region hit count is identical.
+	editT := time.Duration(1<<62 - 1)
+	var edit *repro.Result
+	for v := int64(0); v < 5; v++ {
+		rev := incrementalSrc(comps, int(v)%comps, v)
+		var res *repro.Result
+		if t := timeIt(func() { res = compile(rev, opts) }); t < editT {
+			editT = t
+		}
+		edit = res
+	}
+	if edit.Align.CacheHit {
+		fail(fmt.Errorf("E16: edited revision hit the whole-program key"))
+	}
+	snap := IncrementalSnapshot{
+		Regions:       cold.Align.Regions,
+		ColdNs:        int64(coldT),
+		WarmRepeatNs:  int64(warmT),
+		OneEditNs:     int64(editT),
+		RegionHits:    edit.Align.RegionHits,
+		RegionHitRate: float64(edit.Align.RegionHits) / float64(comps),
+		EditSpeedup:   float64(coldT) / float64(editT),
+	}
+	row("E16/incr", fmt.Sprintf("%d-component cold solve", comps), "full pipeline per region", coldT.Round(time.Microsecond))
+	row("E16/incr", "unchanged repeat", "O(hash) whole-program hit", warmT.Round(time.Microsecond))
+	row("E16/incr", "1-line edit re-solve", "≥5x vs cold (1 region solved)",
+		fmt.Sprintf("%v (%.1fx, %d/%d region hits)", editT.Round(time.Microsecond), snap.EditSpeedup, edit.Align.RegionHits, comps))
+	return snap
 }
 
 func timeIt(f func()) time.Duration {

@@ -154,15 +154,28 @@ func (c *Cache) Len() int {
 	return n
 }
 
-// Counters returns the cumulative hit and miss counts of get lookups.
+// Counters returns the cumulative hit and miss counts of cache
+// lookups. A hit is a lookup served from a completed cached entry — the
+// fast path of do, its post-flight re-check, or a direct get. A miss is
+// a lookup that made the caller compute: for do, exactly the lookups
+// that became singleflight leaders (so misses == computes when every
+// lookup goes through do). Waiters served by another caller's in-flight
+// execution are counted in FlightStats as shared — neither hit nor miss
+// — so every completed do call lands in exactly one bucket:
+//
+//	hits + shared + misses == completed do() calls
+//
+// (a waiter that abandons a flight on cancellation counts nowhere).
 func (c *Cache) Counters() (hits, misses int64) {
 	return c.hits.Load(), c.misses.Load()
 }
 
 // FlightStats returns how many pipeline executions the cache admitted
-// (computes: singleflight leaders, i.e. distinct solves actually run)
-// and how many callers were served by waiting on another caller's
-// in-flight execution instead of solving themselves (shared).
+// (computes: singleflight leaders, i.e. distinct solves actually run —
+// always equal to the miss count of Counters for do-only usage) and how
+// many callers were served by waiting on another caller's in-flight
+// execution instead of solving themselves (shared; these callers appear
+// in neither the hit nor the miss count — see Counters).
 func (c *Cache) FlightStats() (computes, shared int64) {
 	return c.computes.Load(), c.shared.Load()
 }
@@ -193,8 +206,11 @@ func (c *Cache) get(key string) *Result {
 	return res
 }
 
-// peek is get without touching the hit/miss counters: the singleflight
-// re-check uses it so a single logical lookup is never double-counted.
+// peek is get without touching the hit/miss counters: do's fast path
+// and its singleflight re-check use it, counting explicitly at the
+// lookup's terminal outcome, so a single logical lookup is never
+// double-counted (a shared waiter is not a miss, a re-check hit is not
+// a miss — it is a hit).
 func (c *Cache) peek(key string) *Result {
 	s := c.shardFor(key)
 	s.lock(c)
@@ -276,7 +292,13 @@ func (c *Cache) put(key string, res *Result) {
 // the panic propagates to the leader's own recovery boundary — no
 // future caller of the key can block on a dead flight.
 func (c *Cache) do(ctx context.Context, key string, compute func() (*Result, error)) (res *Result, owned bool, err error) {
-	if hit := c.get(key); hit != nil {
+	// Counter discipline (see Counters): the fast path must not count a
+	// miss yet — this caller may still be served without computing, as a
+	// flight waiter or by the post-flight re-check. Only the three
+	// terminal outcomes count: served from the cache (hit), served by
+	// another caller's execution (shared), or computed here (miss).
+	if hit := c.peek(key); hit != nil {
+		c.hits.Add(1)
 		return hit, false, nil
 	}
 	c.flightMu.Lock()
@@ -306,12 +328,14 @@ func (c *Cache) do(ctx context.Context, key string, compute func() (*Result, err
 	// solve (the network path) races duplicate executions into being.
 	if hit := c.peek(key); hit != nil {
 		c.flightMu.Unlock()
+		c.hits.Add(1)
 		return hit, false, nil
 	}
 	call := &flightCall{done: make(chan struct{})}
 	c.flights[key] = call
 	c.flightMu.Unlock()
 
+	c.misses.Add(1)
 	c.computes.Add(1)
 	completed := false
 	defer func() {
@@ -390,11 +414,19 @@ func cacheKey(g *adg.Graph, opts Options) string {
 	// cores may legitimately round different ones (equal approximate
 	// objective, different alignments), so runs under different forced
 	// engines must not share cache entries.
-	fmt.Fprintf(h, "o|%d;%d;%d;%d;%v;%v;%d;%d;%d;%v;%g;",
+	// Partition is keyed even though the computed alignment is identical
+	// either way: the toggle changes what a solve teaches the cache
+	// (per-region entries and region-hit accounting), so runs under
+	// different settings must not masquerade as each other's results.
+	// Region subproblems are keyed with Partition=false, which makes a
+	// region entry identical to the whole-program entry of the same
+	// program solved standalone with partitioning off.
+	fmt.Fprintf(h, "o|%d;%d;%d;%d;%v;%v;%d;%d;%d;%v;%g;%v;",
 		opts.Offset.Strategy, opts.Offset.M, opts.Offset.MaxRefine,
 		opts.Offset.UnrollCap, opts.Offset.Static,
 		opts.Replication, opts.ReplicationRounds, opts.AxisStride.Restarts,
-		opts.Offset.Engine, opts.Offset.NoNetPath, opts.AxisStride.PruneSlack)
+		opts.Offset.Engine, opts.Offset.NoNetPath, opts.AxisStride.PruneSlack,
+		opts.Partition)
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -457,6 +489,8 @@ func (r *Result) rehydrate(g *adg.Graph) *Result {
 		Repl:       repl,
 		Offset:     off,
 		CacheHit:   true,
+		Regions:    r.Regions,
+		RegionHits: r.RegionHits,
 	}
 	out.Assignment = out.BuildAssignment()
 	return out

@@ -33,6 +33,20 @@ type Options struct {
 	// See NewCache.
 	Cache *Cache
 
+	// Partition enables compositional solving on top of the (always-on)
+	// component decomposition: each weakly connected component of the
+	// ADG is content-addressed on its own and solved through Cache with
+	// singleflight semantics, and components fan out as the parallelism
+	// grain. A one-component edit to a multi-component program then
+	// misses only the whole-program key — every untouched component is
+	// a warm region hit and only the edited one re-solves. The computed
+	// alignment is byte-identical with Partition on or off at every
+	// parallelism level (the decomposition itself is unconditional);
+	// the toggle is nevertheless part of the whole-program cache key,
+	// because it changes what the cache learns from a solve. Off by
+	// default; a no-op without a Cache except for region-grain fan-out.
+	Partition bool
+
 	// MaxLPIter caps the simplex iterations of each LP solve of the §4
 	// offset phase (lp.Options.MaxIter); values <= 0 derive the budget
 	// from the problem size. A solve that exhausts the budget fails with
@@ -81,6 +95,15 @@ type Result struct {
 	// CacheHit reports that this result was served from Options.Cache
 	// (phase times are zero in that case — no solver ran).
 	CacheHit bool
+	// Regions is the number of weakly connected components the graph
+	// decomposed into (1 for a connected program, 0 for an empty one).
+	Regions int
+	// RegionHits is how many of those components were served from the
+	// per-region cache during this solve (always 0 with
+	// Options.Partition off, and for a whole-program cache hit — no
+	// region lookup ran; a rehydrated whole-program hit reports the
+	// leader's counts).
+	RegionHits int
 }
 
 // Align runs the full pipeline of the paper on an ADG: axis and (mobile)
@@ -127,9 +150,28 @@ func AlignContext(ctx context.Context, g *adg.Graph, opts Options) (*Result, err
 	return res.rehydrate(g), nil
 }
 
-// alignUncached runs the solver pipeline unconditionally (the compute
-// body of the cached path).
+// alignUncached is the compute body of the cached path: it decomposes
+// the graph into weakly connected components and solves them as
+// independent subproblems (see regions.go). The decomposition happens
+// whether or not Options.Partition is set — that keeps the result
+// byte-identical across the toggle by construction — and a connected
+// graph falls through to the monolithic solve untouched.
 func alignUncached(g *adg.Graph, opts Options) (*Result, error) {
+	part := adg.PartitionGraph(g)
+	if len(part.Regions) <= 1 {
+		res, err := alignMono(g, opts)
+		if res != nil {
+			res.Regions = len(part.Regions)
+		}
+		return res, err
+	}
+	return alignRegions(g, part, opts)
+}
+
+// alignMono runs the solver pipeline on one (connected) graph — the
+// per-region compute body, and the whole pipeline for connected
+// programs.
+func alignMono(g *adg.Graph, opts Options) (*Result, error) {
 	var times PhaseTimes
 	opts.AxisStride.scratch = opts.scratch
 	opts.AxisStride.ctx = opts.ctx

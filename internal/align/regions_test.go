@@ -1,0 +1,191 @@
+package align
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/adg"
+)
+
+// twoComp is a program whose ADG splits into two independent
+// components: the {x,y} vector computation and the {m,n} matrix pair.
+const twoComp = `
+real X(60), Y(60), M(12,16), N(16,12)
+x(1:20) = x(1:20) + y(3:22)
+m = m + transpose(n)
+`
+
+// twoCompSwapped is the same two computations with declaration and
+// statement order swapped: an isomorphic renumbering of the regions.
+const twoCompSwapped = `
+real M(12,16), N(16,12), X(60), Y(60)
+m = m + transpose(n)
+x(1:20) = x(1:20) + y(3:22)
+`
+
+// regionKeys partitions g and returns the per-region content keys under
+// region sub-options (Partition off — how alignRegions keys them).
+func regionKeys(t *testing.T, g *adg.Graph, opts Options) map[string]bool {
+	t.Helper()
+	part := adg.PartitionGraph(g)
+	keys := make(map[string]bool, len(part.Regions))
+	sub := opts
+	sub.Partition = false
+	sub.Cache = nil
+	for _, r := range part.Regions {
+		keys[cacheKey(r.Graph, sub)] = true
+	}
+	return keys
+}
+
+// TestRegionKeyRelabelInvariance: permuting the order in which a
+// program's independent components appear renumbers every node, port,
+// and edge globally, but the extracted regions renumber densely from
+// zero — so the set of region content keys is unchanged. This is what
+// lets an edited program reuse the cache entries of its untouched
+// components no matter where the edit shifted their global IDs.
+func TestRegionKeyRelabelInvariance(t *testing.T) {
+	opts := Options{Replication: true}
+	a := regionKeys(t, mustGraph(t, twoComp), opts)
+	b := regionKeys(t, mustGraph(t, twoCompSwapped), opts)
+	if len(a) != 2 || len(b) != 2 {
+		t.Fatalf("region key counts = %d and %d, want 2 and 2", len(a), len(b))
+	}
+	for k := range a {
+		if !b[k] {
+			t.Errorf("region key %.12s… of the original program missing from the permuted one", k)
+		}
+	}
+
+	// Global keys of the two programs differ (the whole-graph
+	// serialization sees the permuted IDs), which is exactly why
+	// whole-program caching alone cannot reuse anything here.
+	if cacheKey(mustGraph(t, twoComp), opts) == cacheKey(mustGraph(t, twoCompSwapped), opts) {
+		t.Error("whole-program keys unexpectedly equal for permuted programs")
+	}
+}
+
+// TestRegionCacheIncremental: with Partition on, solving a program that
+// shares components with an earlier solve hits the per-region cache for
+// every untouched component and re-solves only the edited one — and the
+// result is identical to a partition-less solve of the same program.
+func TestRegionCacheIncremental(t *testing.T) {
+	edited := `
+real X(60), Y(60), M(12,16), N(16,12)
+x(1:20) = x(1:20) + y(4:23)
+m = m + transpose(n)
+`
+	base := Options{Replication: true}
+
+	cold := base
+	cold.Partition = true
+	cold.Cache = NewCache(16)
+	first, err := Align(mustGraph(t, twoComp), cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Regions != 2 || first.RegionHits != 0 {
+		t.Fatalf("cold solve: Regions=%d RegionHits=%d, want 2 and 0", first.Regions, first.RegionHits)
+	}
+
+	warm, err := Align(mustGraph(t, edited), cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Regions != 2 || warm.RegionHits != 1 {
+		t.Errorf("edited solve: Regions=%d RegionHits=%d, want 2 and 1 (the transpose component is untouched)",
+			warm.Regions, warm.RegionHits)
+	}
+	if warm.CacheHit {
+		t.Error("edited solve reported a whole-program cache hit")
+	}
+
+	ref, err := Align(mustGraph(t, edited), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := warm.Assignment.String(), ref.Assignment.String(); got != want {
+		t.Errorf("partitioned warm solve differs from whole-graph solve:\n--- partitioned\n%s\n--- whole\n%s", got, want)
+	}
+	if warm.Offset.Exact != ref.Offset.Exact || warm.AxisStride.Cost != ref.AxisStride.Cost {
+		t.Errorf("costs differ: partitioned (%d, %d) vs whole (%d, %d)",
+			warm.AxisStride.Cost, warm.Offset.Exact, ref.AxisStride.Cost, ref.Offset.Exact)
+	}
+
+	// A second identical solve short-circuits on the whole-program key:
+	// no region lookups run, the rehydrated result reports the leader's
+	// region counts.
+	again, err := Align(mustGraph(t, edited), cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.CacheHit {
+		t.Error("repeat solve missed the whole-program key")
+	}
+	if again.Regions != 2 {
+		t.Errorf("repeat solve Regions=%d, want 2 (copied from the cached result)", again.Regions)
+	}
+}
+
+// TestCacheCounterIdentity pins the documented Counters/FlightStats
+// bookkeeping: every completed do() call counts in exactly one of
+// {hits, shared, misses}, and misses equals computes — a singleflight
+// waiter is shared, not a miss (the double-count this identity
+// regression-tests).
+func TestCacheCounterIdentity(t *testing.T) {
+	c := NewCache(8)
+	want := &Result{}
+	var calls atomic.Int64
+	const (
+		keys    = 3
+		callers = 16
+	)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			key := fmt.Sprintf("%x-counter-key", i%keys)
+			_, _, err := c.do(context.Background(), key, func() (*Result, error) {
+				calls.Add(1)
+				time.Sleep(10 * time.Millisecond) // pile the waiters up
+				return want, nil
+			})
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	// A second wave hits the now-complete entries on the fast path.
+	for i := 0; i < keys; i++ {
+		if _, _, err := c.do(context.Background(), fmt.Sprintf("%x-counter-key", i), func() (*Result, error) {
+			t.Errorf("key %d recomputed after completion", i)
+			return want, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses := c.Counters()
+	computes, shared := c.FlightStats()
+	if misses != computes {
+		t.Errorf("misses (%d) != computes (%d): a non-leader was counted as a miss", misses, computes)
+	}
+	if computes != calls.Load() {
+		t.Errorf("computes (%d) != actual compute calls (%d)", computes, calls.Load())
+	}
+	if total := hits + shared + misses; total != callers+keys {
+		t.Errorf("hits (%d) + shared (%d) + misses (%d) = %d, want %d completed do() calls",
+			hits, shared, misses, total, callers+keys)
+	}
+	if hits < keys {
+		t.Errorf("hits = %d, want at least the %d fast-path hits of the second wave", hits, keys)
+	}
+}

@@ -42,6 +42,9 @@ go test -run='^$' -fuzz=FuzzLexer -fuzztime=10s ./internal/lang
 echo "== bench smoke (1x: benchmarks must build, run, and hold their gates)"
 go test -run=NONE -bench=. -benchtime=1x .
 
+echo "== incremental smoke (1-edit re-solve must hold its 5x gate under -benchmem)"
+go test -run=NONE -bench=BenchmarkIncrementalEdit -benchtime=1x -benchmem .
+
 echo "== benchmem smoke (steady-state allocs/op must not regress)"
 # Committed thresholds with generous headroom over the measured steady
 # state (rank4 ~690 allocs/op, batch mixed ~235k allocs/op at 1x): a
