@@ -29,6 +29,7 @@ import (
 	"repro/internal/build"
 	"repro/internal/cost"
 	"repro/internal/lang"
+	"repro/internal/lp"
 )
 
 // Options configures the alignment pipeline.
@@ -70,6 +71,13 @@ type Options struct {
 	// default derived from each LP's size, which well-posed programs
 	// never approach.
 	MaxLPIter int64
+	// NoPresolve disables the offset-LP presolver (pin/chain
+	// contraction and block decomposition; see lp.Problem.Reduce), so
+	// every RLP is solved monolithically exactly as built. The toggle
+	// exists for differential testing and baseline measurement; the
+	// computed alignment is the same either way on non-degenerate
+	// programs.
+	NoPresolve bool
 }
 
 // Cache is a bounded content-addressed memo of pipeline results; see
@@ -141,6 +149,10 @@ func AlignProgramContext(ctx context.Context, prog *lang.Program, opts Options) 
 
 // alignOptions lowers the public options to the pipeline's.
 func (o Options) alignOptions() align.Options {
+	presolve := lp.PresolveAuto
+	if o.NoPresolve {
+		presolve = lp.PresolveOff
+	}
 	return align.Options{
 		AxisStride: align.AxisStrideOptions{
 			Parallelism: o.Parallelism,
@@ -150,6 +162,7 @@ func (o Options) alignOptions() align.Options {
 			Strategy:    o.Strategy,
 			M:           o.Subranges,
 			Parallelism: o.Parallelism,
+			Presolve:    presolve,
 		},
 		Replication:       o.Replication,
 		ReplicationRounds: o.ReplicationRounds,
@@ -308,6 +321,8 @@ func (r *Result) Report() string {
 		st.Solves, st.WarmSolves, st.NetSolves, st.SparseSolves,
 		st.Pivots, st.Refactors, st.Augments,
 		st.Phase1.Round(time.Microsecond), st.Phase2.Round(time.Microsecond))
+	fmt.Fprintf(&b, "LP presolve: %d fixed, %d contracted, %d block solves\n",
+		st.PresolveFixed, st.PresolveContracted, st.Blocks)
 	t := r.Align.Times
 	fmt.Fprintf(&b, "phase times: axis/stride %s, replication %s, offsets %s\n",
 		t.AxisStride.Round(time.Microsecond), t.Replication.Round(time.Microsecond),

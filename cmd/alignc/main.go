@@ -8,7 +8,7 @@
 // Usage:
 //
 //	alignc [-strategy fixed|unroll|search|zerotrack|recursive] [-m N]
-//	       [-par N] [-cache] [-partition] [-norepl] [-static] [-dot] [-sim]
+//	       [-par N] [-cache] [-partition] [-presolve=false] [-norepl] [-static] [-dot] [-sim]
 //	       [-grid PxQ] [-timeout D] [-cpuprofile F] [-memprofile F] file.dp
 //	alignc -batch 'progs/*.dp' [-workers N] [-timeout D] [-deadline D] [...]
 //	alignc -editstream N [-partition] [-par N]
@@ -64,6 +64,7 @@ func main() {
 	grid := flag.String("grid", "4x4", "processor grid for -sim, e.g. 8x8")
 	top := flag.Int("top", 10, "edges to show in the cost report")
 	partition := flag.Bool("partition", false, "enable compositional solving: per-region caching and region-grain parallelism (see -editstream)")
+	presolve := flag.Bool("presolve", true, "presolve offset LPs (pin/chain contraction, block decomposition) before solving; -presolve=false forces the monolithic simplex")
 	editstream := flag.Int("editstream", 0, "demo mode: build an N-component program, then re-align it N times with one component edited each round, printing per-edit latency and region hit rate (implies -cache)")
 	batch := flag.String("batch", "", "align every file matching the glob as one batch")
 	workers := flag.Int("workers", 0, "global worker budget for -batch (0 = GOMAXPROCS)")
@@ -111,7 +112,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "alignc: no input file; compiling the paper's Figure 1 fragment")
 	}
 
-	opts := repro.Options{Subranges: *m, Replication: !*norepl, Parallelism: *par, Partition: *partition}
+	opts := repro.Options{Subranges: *m, Replication: !*norepl, Parallelism: *par, Partition: *partition, NoPresolve: !*presolve}
 	switch *strategy {
 	case "fixed":
 		opts.Strategy = align.StrategyFixed

@@ -210,6 +210,89 @@ func TestBatchDeterminism(t *testing.T) {
 	})
 }
 
+// normalizeEffortReport additionally strips the solver effort lines
+// ("LP effort:" and "LP presolve:") and the "pipeline cache:" line:
+// presolve on and off legitimately spend different pivot and solve
+// counts on the way to the same alignment, so a cross-toggle comparison
+// keeps only the semantic output — alignments, costs, replication
+// labels.
+func normalizeEffortReport(s string) string {
+	lines := strings.Split(normalizeReport(s), "\n")
+	out := lines[:0]
+	for _, line := range lines {
+		if strings.HasPrefix(line, "LP effort:") ||
+			strings.HasPrefix(line, "LP presolve:") ||
+			strings.HasPrefix(line, "pipeline cache:") {
+			continue
+		}
+		out = append(out, line)
+	}
+	return strings.Join(out, "\n")
+}
+
+// TestPresolveDeterminism pins the presolver's output contract along
+// two axes. Within one setting of the toggle, everything — including
+// the effort and presolve counters — is byte-identical across
+// Parallelism 1/2/8 and Partition on/off: presolve statistics are
+// deterministic, never scheduling accidents. Across the toggle, the
+// single-LP-round pipeline (no replication) produces byte-identical
+// effort-normalized reports, and the replicating pipeline produces
+// identical exact and total costs: the §6 warm re-solves may land on
+// different (equally optimal) degenerate vertices monolithically than
+// block-wise, which is exactly why the toggle is part of the pipeline
+// cache key (TestCacheKeyPresolveToggle).
+func TestPresolveDeterminism(t *testing.T) {
+	for name, src := range determinismSources {
+		t.Run(name, func(t *testing.T) {
+			for _, repl := range []bool{false, true} {
+				var want string // cross-toggle baseline (repl=false only)
+				var wantExact, wantTotal int64
+				first := true
+				for _, noPresolve := range []bool{false, true} {
+					var wantFull string // within-toggle baseline
+					for _, partition := range []bool{false, true} {
+						for _, par := range []int{1, 2, 8} {
+							opts := DefaultOptions()
+							opts.Replication = repl
+							opts.Partition = partition
+							opts.NoPresolve = noPresolve
+							opts.Parallelism = par
+							if partition {
+								opts.Cache = NewCache(8)
+							}
+							res, err := AlignSource(src, opts)
+							if err != nil {
+								t.Fatal(err)
+							}
+							full := normalizeBatchReport(res.Report())
+							if wantFull == "" {
+								wantFull = full
+							} else if full != wantFull {
+								t.Errorf("repl=%v presolve=%v: partition=%v par=%d report differs within the toggle:\n--- baseline\n%s\n--- got\n%s",
+									repl, !noPresolve, partition, par, wantFull, full)
+							}
+							norm := normalizeEffortReport(res.Report())
+							exact, total := int64(res.Align.Offset.Exact), res.Cost.Total()
+							if first {
+								want, wantExact, wantTotal, first = norm, exact, total, false
+								continue
+							}
+							if exact != wantExact || total != wantTotal {
+								t.Errorf("repl=%v presolve=%v partition=%v par=%d: costs exact=%d total=%d differ from baseline exact=%d total=%d",
+									repl, !noPresolve, partition, par, exact, total, wantExact, wantTotal)
+							}
+							if !repl && norm != want {
+								t.Errorf("repl=false presolve=%v partition=%v par=%d: normalized report differs across the toggle:\n--- baseline\n%s\n--- got\n%s",
+									!noPresolve, partition, par, want, norm)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestAxisStrideDeterminism pins the §3 phase in isolation: the
 // multi-start DP must choose identical labelings, costs, and effort
 // counters at every Parallelism setting (the worker pool only reorders

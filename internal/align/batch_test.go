@@ -10,7 +10,22 @@ import (
 	"time"
 
 	"repro/internal/adg"
+	"repro/internal/lp"
 )
+
+// TestCacheKeyPresolveToggle pins the presolve toggle into the content
+// key: presolve on and off can land on different degenerate vertices of
+// the same optimal face, so a cached result must never be served across
+// the toggle.
+func TestCacheKeyPresolveToggle(t *testing.T) {
+	g := mustGraph(t, fig1)
+	on := Options{}
+	off := Options{}
+	off.Offset.Presolve = lp.PresolveOff
+	if cacheKey(g, on) == cacheKey(g, off) {
+		t.Error("cache keys equal across the Presolve toggle")
+	}
+}
 
 // TestCacheGetZeroAlloc pins the batch engine's hot path: a warm-cache
 // hit — shard select, map lookup, LRU move-to-front, atomic counter —

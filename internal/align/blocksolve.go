@@ -1,0 +1,58 @@
+package align
+
+import (
+	"repro/internal/lp"
+)
+
+// This file drives the RLP presolver (lp.Problem.Reduce) for the
+// offset solver: the reduced problem's independent blocks are solved
+// in deterministic block order, each on the cheapest engine that
+// accepts it — the network-dual fast path when the block is
+// network-shaped (which blocks of a non-network RLP often are: the
+// contraction collapses most θ terms to pure differences, quarantining
+// the transformer rows that defeat whole-problem classification into
+// their own blocks), the simplex otherwise — and the per-block
+// solutions are stitched back together by Reduction.Postsolve.
+
+// solveReduced presolves prob and solves its blocks. ok = false means
+// the reduction declined (presolve disabled, nothing to reduce, or a
+// contradiction left for the simplex to diagnose) and the caller must
+// fall back to prob.Solve(). A non-nil error is a genuine solve
+// failure (infeasible block, exhausted budget, cancellation) and is
+// final: the blocks partition the original constraints, so a failing
+// block means the full problem fails the same way.
+func (ax *axisSolver) solveReduced(prob *lp.Problem) (*lp.Solution, bool, error) {
+	red, ok := prob.Reduce(true)
+	if !ok {
+		return nil, false, nil
+	}
+	sols := make([]*lp.Solution, len(red.Blocks))
+	for i := range red.Blocks {
+		blk := &red.Blocks[i]
+		// Blocks solve sequentially, so they can share the axis arena:
+		// each solve rewinds it, and the extracted solutions own their
+		// values.
+		blk.Prob.SetArena(ax.arena)
+		blk.Prob.SetStats(ax.stats)
+		sol, err := ax.solveBlock(blk.Prob)
+		if err != nil {
+			return nil, false, err
+		}
+		sols[i] = sol
+	}
+	return red.Postsolve(sols), true, nil
+}
+
+// solveBlock solves one block: network fast path first (unless
+// disabled), simplex fallback. Stats.Blocks counts every block solve.
+func (ax *axisSolver) solveBlock(prob *lp.Problem) (*lp.Solution, error) {
+	if ax.stats != nil {
+		ax.stats.Blocks++
+	}
+	if !ax.opts.NoNetPath {
+		if sol, ok := trySolveNet(prob, ax.stats); ok {
+			return sol, nil
+		}
+	}
+	return prob.Solve()
+}

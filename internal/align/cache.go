@@ -421,12 +421,17 @@ func cacheKey(g *adg.Graph, opts Options) string {
 	// Region subproblems are keyed with Partition=false, which makes a
 	// region entry identical to the whole-program entry of the same
 	// program solved standalone with partitioning off.
-	fmt.Fprintf(h, "o|%d;%d;%d;%d;%v;%v;%d;%d;%d;%v;%g;%v;",
+	// Presolve is keyed for the same reason as the engine toggles: the
+	// block-split solve and the whole-problem solve agree on the
+	// objective but a degenerate RLP can have many optimal vertices,
+	// and the per-block engines may round a different one than the
+	// monolithic simplex.
+	fmt.Fprintf(h, "o|%d;%d;%d;%d;%v;%v;%d;%d;%d;%v;%g;%v;%d;",
 		opts.Offset.Strategy, opts.Offset.M, opts.Offset.MaxRefine,
 		opts.Offset.UnrollCap, opts.Offset.Static,
 		opts.Replication, opts.ReplicationRounds, opts.AxisStride.Restarts,
 		opts.Offset.Engine, opts.Offset.NoNetPath, opts.AxisStride.PruneSlack,
-		opts.Partition)
+		opts.Partition, opts.Offset.Presolve)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

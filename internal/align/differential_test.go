@@ -8,11 +8,14 @@ import (
 	"repro/internal/lp"
 )
 
-// Three-way differential property test for the offset LP engine tiers:
-// the dense tableau, the sparse revised simplex, and the network-dual
-// fast path must agree — identical feasibility verdicts, objectives
-// within 1e-6, and primal-feasible solutions (lp.Problem.Residual) —
-// on randomly generated RLP-shaped problems. The generator emits the
+// Four-way differential property test for the offset LP engine tiers:
+// the dense tableau, the sparse revised simplex, the network-dual
+// fast path, and the presolved block decomposition must agree —
+// identical feasibility verdicts, objectives within 1e-6, and
+// primal-feasible solutions (lp.Problem.Residual; for the presolved
+// leg the residual is taken on the *original* problem, so Postsolve's
+// reconstruction of eliminated variables is itself under test) — on
+// randomly generated RLP-shaped problems. The generator emits the
 // same row shapes buildRLP does (θ pairs over port-offset differences,
 // difference equalities, anchor pins), plus deliberately non-network
 // and infeasible variants so the fallback and error paths are exercised
@@ -158,13 +161,14 @@ func (sp diffSpec) build() *lp.Problem {
 	return p
 }
 
-// TestDifferentialEngines is the acceptance property of ISSUE 5: on
-// ~200 random RLPs the three tiers agree on feasibility, objective
-// (1e-6), and each produced solution is primal feasible.
+// TestDifferentialEngines is the acceptance property of ISSUE 5
+// (extended by ISSUE 8 with the presolved leg): on ~200 random RLPs
+// the four tiers agree on feasibility, objective (1e-6), and each
+// produced solution is primal feasible.
 func TestDifferentialEngines(t *testing.T) {
 	const cases = 200
 	rng := rand.New(rand.NewSource(20260806))
-	var netFired, netPure, fellBack, infeasible int
+	var netFired, netPure, fellBack, infeasible, presolved int
 	for i := 0; i < cases; i++ {
 		shape := shapeNetwork
 		switch {
@@ -191,6 +195,13 @@ func TestDifferentialEngines(t *testing.T) {
 		np := sp.build()
 		nsol, nok := trySolveNet(np, &lp.Stats{})
 
+		// Presolved leg: Reduce + per-block solve + Postsolve, driven
+		// exactly as the offset solver's cold path drives it. A nil
+		// arena is fine: each block then allocates its own tableau.
+		pp := sp.build()
+		pax := &axisSolver{opts: OffsetOptions{}, stats: &lp.Stats{}}
+		psol, pok, perr := pax.solveReduced(pp)
+
 		if derr != nil {
 			if shape != shapeInfeasible {
 				t.Fatalf("case %d (shape %d): unexpected infeasibility: %v", i, shape, derr)
@@ -198,8 +209,14 @@ func TestDifferentialEngines(t *testing.T) {
 			if nok {
 				t.Fatalf("case %d: network path claimed success on an infeasible problem", i)
 			}
+			if pok && perr == nil {
+				t.Fatalf("case %d: presolved path claimed success on an infeasible problem", i)
+			}
 			infeasible++
 			continue
+		}
+		if perr != nil {
+			t.Fatalf("case %d (shape %d): presolved path failed on a feasible problem: %v", i, shape, perr)
 		}
 
 		tol := 1e-6 * (1 + math.Abs(dsol.Objective))
@@ -212,6 +229,16 @@ func TestDifferentialEngines(t *testing.T) {
 		}
 		if r := spp.Residual(ssol.Values()); r > 1e-6 {
 			t.Fatalf("case %d: sparse solution infeasible, residual %g", i, r)
+		}
+		if pok {
+			presolved++
+			if d := math.Abs(psol.Objective - dsol.Objective); d > tol {
+				t.Fatalf("case %d (shape %d): presolved obj %.9g vs dense obj %.9g (Δ=%g)",
+					i, shape, psol.Objective, dsol.Objective, d)
+			}
+			if r := pp.Residual(psol.Values()); r > 1e-6 {
+				t.Fatalf("case %d: postsolved solution infeasible on the original problem, residual %g", i, r)
+			}
 		}
 
 		switch shape {
@@ -243,6 +270,9 @@ func TestDifferentialEngines(t *testing.T) {
 	if netFired < netPure {
 		t.Fatalf("fast path fired on %d of %d network-pure cases", netFired, netPure)
 	}
-	t.Logf("differential: %d cases, %d network-solved, %d fallback, %d infeasible",
-		cases, netFired, fellBack, infeasible)
+	if presolved < cases/4 {
+		t.Fatalf("presolve reduced only %d of %d feasible cases — generator or Reduce regressed", presolved, cases)
+	}
+	t.Logf("differential: %d cases, %d network-solved, %d presolved, %d fallback, %d infeasible",
+		cases, netFired, presolved, fellBack, infeasible)
 }

@@ -92,6 +92,14 @@ type OffsetOptions struct {
 	// testing and baseline measurement; the fast path falls back to the
 	// simplex transparently whenever its preconditions fail.
 	NoNetPath bool
+	// Presolve gates the RLP presolver (lp.Problem.Reduce): pins and
+	// difference-equality chains are contracted out, zero-weight θ
+	// terms dropped, and the residue split into independent blocks
+	// solved per-block (network fast path per block where it applies,
+	// simplex otherwise). The default, lp.PresolveAuto, is on;
+	// lp.PresolveOff solves every RLP exactly as built (differential
+	// testing, baseline measurement).
+	Presolve lp.PresolveMode
 
 	// scratch, when non-nil, recycles tableau arenas across solves.
 	// Threaded in by the pipeline from Options.scratch.
@@ -186,6 +194,11 @@ type axisSolver struct {
 	// cost rebuild.
 	warmAll bool
 	thetas  map[int][]lp.VarID
+	// memoJobs, when non-nil, memoizes the per-(edge, subrange) moment
+	// sums across refinement rounds: a refining strategy re-partitions
+	// only the edges whose span crosses zero, so every unchanged
+	// subrange reuses last round's moments instead of re-summing them.
+	memoJobs map[int][]termJob
 }
 
 // newTheta adds one θ variable for edge e, at cost 0 when the edge is
@@ -225,6 +238,7 @@ func (ax *axisSolver) solve(res *OffsetResult) error {
 	rounds := 1
 	if ax.opts.Strategy == StrategyZeroTrack || ax.opts.Strategy == StrategyRecursive {
 		rounds = ax.opts.MaxRefine
+		ax.memoJobs = map[int][]termJob{}
 	}
 	for round := 0; round < rounds; round++ {
 		if err := ax.ctxErr(); err != nil {
@@ -312,16 +326,21 @@ func (ax *axisSolver) solveRLP(parts map[int][]space.Space, res *OffsetResult) (
 	return out, sol.Objective, nil
 }
 
-// solveProb solves one RLP instance: the network-dual fast path when
-// the problem has network structure (and the path is enabled), the
-// simplex otherwise. The fast path is exact and self-certifying, so a
-// decline at any stage falls back without observable effect beyond the
-// effort counters.
+// solveProb solves one RLP instance, cheapest engine first: the
+// network-dual fast path when the whole problem has network structure
+// (and the path is enabled), then the presolve/block-split reduction
+// (which routes network-shaped blocks to the flow solver even when the
+// whole RLP is not network-form), and finally the plain simplex. Every
+// tier is exact and self-certifying, so a decline at any stage falls
+// through without observable effect beyond the effort counters.
 func (ax *axisSolver) solveProb(prob *lp.Problem) (*lp.Solution, error) {
 	if !ax.opts.NoNetPath {
 		if sol, ok := trySolveNet(prob, ax.stats); ok {
 			return sol, nil
 		}
+	}
+	if sol, ok, err := ax.solveReduced(prob); ok || err != nil {
+		return sol, err
 	}
 	return prob.Solve()
 }
@@ -334,7 +353,7 @@ func (ax *axisSolver) buildRLP(parts map[int][]space.Space) (*lp.Problem, map[co
 	}
 	prob.SetArena(ax.arena)
 	prob.SetStats(ax.stats)
-	prob.SetOptions(lp.Options{MaxIter: ax.opts.MaxIter, Ctx: ax.opts.ctx, Engine: ax.opts.Engine})
+	prob.SetOptions(lp.Options{MaxIter: ax.opts.MaxIter, Ctx: ax.opts.ctx, Engine: ax.opts.Engine, Presolve: ax.opts.Presolve})
 	if ax.warmAll {
 		ax.thetas = map[int][]lp.VarID{}
 	}
@@ -412,10 +431,12 @@ func (ax *axisSolver) buildRLP(parts map[int][]space.Space) (*lp.Problem, map[co
 		w := e.Weight()
 		livs := e.Space().LIVs
 		for _, sub := range subs {
-			jobs = append(jobs, termJob{w: w, livs: livs, sub: sub})
+			jobs = append(jobs, termJob{edge: e.ID, w: w, livs: livs, sub: sub})
 		}
 	}
+	ax.recallMoments(jobs)
 	computeMoments(jobs, ax.opts.Parallelism)
+	ax.retainMoments(jobs)
 	cursor := 0
 	for _, e := range ax.g.Edges {
 		if !ax.warmAll && !ax.liveEdge(e) {
@@ -437,23 +458,67 @@ func (ax *axisSolver) buildRLP(parts map[int][]space.Space) (*lp.Problem, map[co
 	return prob, vars
 }
 
-// termJob is one (edge, subrange) moment computation.
+// termJob is one (edge, subrange) moment computation. done marks a job
+// whose moments were recalled from a previous refinement round.
 type termJob struct {
+	edge int
 	w    expr.Poly
 	livs []string
 	sub  space.Space
 	m0   int64
 	mv   map[string]int64
+	done bool
 }
 
-// computeMoments fills in the moment sums of every job, fanning out over
-// min(par, len(jobs)) workers when it pays.
-func computeMoments(jobs []termJob, par int) {
-	if par > len(jobs) {
-		par = len(jobs)
+// recallMoments fills jobs whose (edge, subrange) pair already had its
+// moments computed in a previous refinement round. Moments depend only
+// on the edge's weight polynomial and the subrange, both of which a
+// refinement leaves untouched for every subrange it does not split, so
+// reuse is exact.
+func (ax *axisSolver) recallMoments(jobs []termJob) {
+	if ax.memoJobs == nil {
+		return
 	}
-	if par <= 1 || len(jobs) < 8 {
+	for i := range jobs {
+		j := &jobs[i]
+		for _, prev := range ax.memoJobs[j.edge] {
+			if prev.sub.Equal(j.sub) {
+				j.m0, j.mv, j.done = prev.m0, prev.mv, true
+				break
+			}
+		}
+	}
+}
+
+// retainMoments records this round's computed jobs for the next round.
+func (ax *axisSolver) retainMoments(jobs []termJob) {
+	if ax.memoJobs == nil {
+		return
+	}
+	memo := make(map[int][]termJob, len(ax.memoJobs))
+	for _, j := range jobs {
+		memo[j.edge] = append(memo[j.edge], j)
+	}
+	ax.memoJobs = memo
+}
+
+// computeMoments fills in the moment sums of every not-yet-done job,
+// fanning out over min(par, pending) workers when it pays.
+func computeMoments(jobs []termJob, par int) {
+	pending := 0
+	for i := range jobs {
+		if !jobs[i].done {
+			pending++
+		}
+	}
+	if par > pending {
+		par = pending
+	}
+	if par <= 1 || pending < 8 {
 		for i := range jobs {
+			if jobs[i].done {
+				continue
+			}
 			jobs[i].m0, jobs[i].mv = moments(jobs[i].w, jobs[i].livs, jobs[i].sub)
 		}
 		return
@@ -468,6 +533,9 @@ func computeMoments(jobs []termJob, par int) {
 				i := int(next.Add(1)) - 1
 				if i >= len(jobs) {
 					return
+				}
+				if jobs[i].done {
+					continue
 				}
 				jobs[i].m0, jobs[i].mv = moments(jobs[i].w, jobs[i].livs, jobs[i].sub)
 			}

@@ -2,6 +2,7 @@ package align
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"repro/internal/adg"
@@ -36,6 +37,26 @@ type axisState struct {
 	// round-invariant under warmAll (only θ costs change), so the probe
 	// runs once and every later round re-solves the flow directly.
 	nf *lp.NetForm
+	// red and blocks hold the presolved decomposition when the whole
+	// problem is not network-form: the reduction (and with it the block
+	// structure) is round-invariant under warmAll, so it runs once and
+	// every round re-solves only the blocks whose θ costs changed —
+	// clean blocks reuse their cached solution outright.
+	red    *lp.Reduction
+	blocks []*warmBlock
+}
+
+// warmBlock is one independent block of a presolved warm-path RLP.
+type warmBlock struct {
+	prob *lp.Problem
+	// nf is the block's cached network classification; network-shaped
+	// blocks re-solve as a flow every round, the rest keep a warm
+	// simplex basis.
+	nf *lp.NetForm
+	// sol is the block's last solution; reused as long as the block
+	// stays clean (no cost on any of its variables changed).
+	sol   *lp.Solution
+	dirty bool
 }
 
 // NewOffsetSolver returns a reusable solver for the graph. Repeated
@@ -120,6 +141,13 @@ func (s *OffsetSolver) Solve(repl *ReplResult) (*OffsetResult, error) {
 		}
 		res.Stats.Add(r.Stats)
 	}
+	if math.Abs(res.Approx) < 1e-6 {
+		// The optimum is integral at problem scale, so a sub-tolerance
+		// sum is numeric dust — and its sign is an engine accident
+		// (−1e-24 from the postsolve path prints as "-0"). Collapse it
+		// so reports agree across engines.
+		res.Approx = 0
+	}
 	res.Exact = ExactOffsetCost(s.g, repl, res.Offsets)
 	return res, nil
 }
@@ -137,6 +165,8 @@ func (s *OffsetSolver) releaseScratch() {
 		st.prob = nil
 		st.vars = nil
 		st.nf = nil
+		st.red = nil
+		st.blocks = nil
 	}
 }
 
@@ -157,14 +187,35 @@ func (st *axisState) solve(res *OffsetResult) error {
 	}
 	if st.prob == nil {
 		st.prob, st.vars = ax.buildRLP(ax.initialPartitions())
-		st.prob.KeepBasis()
 		if !ax.opts.NoNetPath {
 			st.nf, _ = st.prob.NetworkForm()
+		}
+		if st.nf == nil {
+			// Not network-shaped as a whole: presolve once (keeping the
+			// zero-cost θ terms — their costs flip between rounds) and
+			// warm-start per block. Blocks keeping a basis must not
+			// share an arena, so they allocate their own tableaux.
+			if red, ok := st.prob.Reduce(false); ok {
+				st.red = red
+				for i := range red.Blocks {
+					wb := &warmBlock{prob: red.Blocks[i].Prob, dirty: true}
+					wb.prob.KeepBasis()
+					if !ax.opts.NoNetPath {
+						wb.nf, _ = wb.prob.NetworkForm()
+					}
+					st.blocks = append(st.blocks, wb)
+				}
+			}
+		}
+		if st.red == nil {
+			st.prob.KeepBasis()
 		}
 	} else {
 		// Only the objective changes across rounds: a θ term counts 1
 		// when its edge is live under the current labeling, 0 when the
-		// edge has a replicated endpoint (§5.1).
+		// edge has a replicated endpoint (§5.1). Under a presolved
+		// decomposition a cost change dirties exactly the block holding
+		// the θ; untouched blocks keep last round's solution.
 		st.prob.SetStats(ax.stats)
 		for eid, ths := range ax.thetas {
 			cost := 0.0
@@ -172,7 +223,16 @@ func (st *axisState) solve(res *OffsetResult) error {
 				cost = 1
 			}
 			for _, th := range ths {
+				if st.prob.Cost(th) == cost {
+					continue
+				}
 				st.prob.SetCost(th, cost)
+				if st.red != nil {
+					if bi, bv, ok := st.red.BlockVar(th); ok {
+						st.blocks[bi].prob.SetCost(bv, cost)
+						st.blocks[bi].dirty = true
+					}
+				}
 			}
 		}
 	}
@@ -188,6 +248,13 @@ func (st *axisState) solve(res *OffsetResult) error {
 		// flow solve — costs are re-read from the problem, so the §6 cost
 		// flips are honored without any basis to keep warm.
 		sol, _ = solveNetForm(st.prob, st.nf, ax.stats)
+	}
+	if sol == nil && st.red != nil {
+		var err error
+		sol, err = st.solveBlocksWarm()
+		if err != nil {
+			return err
+		}
 	}
 	if sol == nil {
 		var err error
@@ -210,4 +277,35 @@ func (st *axisState) solve(res *OffsetResult) error {
 	// See axisSolver.solve: surface a mid-descent cancellation instead of
 	// delivering a partially optimized labeling as success.
 	return ax.ctxErr()
+}
+
+// solveBlocksWarm re-solves the dirty blocks of a presolved warm-path
+// axis and stitches the full solution from the per-block solutions.
+// Clean blocks (no cost change since their last solve) are reused
+// without any solver work and without touching the effort counters.
+func (st *axisState) solveBlocksWarm() (*lp.Solution, error) {
+	ax := st.ax
+	sols := make([]*lp.Solution, len(st.blocks))
+	for i, wb := range st.blocks {
+		if wb.dirty || wb.sol == nil {
+			wb.prob.SetStats(ax.stats)
+			if ax.stats != nil {
+				ax.stats.Blocks++
+			}
+			var bsol *lp.Solution
+			if wb.nf != nil {
+				bsol, _ = solveNetForm(wb.prob, wb.nf, ax.stats)
+			}
+			if bsol == nil {
+				var err error
+				bsol, err = wb.prob.WarmSolve()
+				if err != nil {
+					return nil, err
+				}
+			}
+			wb.sol, wb.dirty = bsol, false
+		}
+		sols[i] = wb.sol
+	}
+	return st.red.Postsolve(sols), nil
 }

@@ -34,6 +34,31 @@ func (m Mono) key() string {
 	return strings.Join(parts, "*")
 }
 
+// cmpPows orders power products lexicographically by (Var, Exp) with
+// shorter products first on ties — the same canonical order the string
+// keys used to induce, without materializing them.
+func cmpPows(a, b []Pow) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i].Var != b[i].Var {
+			if a[i].Var < b[i].Var {
+				return -1
+			}
+			return 1
+		}
+		if a[i].Exp != b[i].Exp {
+			if a[i].Exp < b[i].Exp {
+				return -1
+			}
+			return 1
+		}
+	}
+	return len(a) - len(b)
+}
+
 // PolyConst returns the constant polynomial c.
 func PolyConst(c int64) Poly {
 	if c == 0 {
@@ -47,25 +72,32 @@ func PolyVar(name string) Poly {
 	return Poly{monos: []Mono{{Coef: 1, Pows: []Pow{{Var: name, Exp: 1}}}}}
 }
 
+// normalize sorts ms into canonical order, combines equal power
+// products, and drops zero coefficients. It owns ms (callers always
+// pass freshly built slices) and compacts it in place.
 func normalize(ms []Mono) Poly {
-	byKey := map[string]Mono{}
+	if len(ms) == 0 {
+		return Poly{}
+	}
+	sort.Slice(ms, func(i, j int) bool { return cmpPows(ms[i].Pows, ms[j].Pows) < 0 })
+	out := ms[:0]
 	for _, m := range ms {
-		k := m.key()
-		if cur, ok := byKey[k]; ok {
-			cur.Coef += m.Coef
-			byKey[k] = cur
-		} else {
-			byKey[k] = m
+		if len(out) > 0 && cmpPows(out[len(out)-1].Pows, m.Pows) == 0 {
+			out[len(out)-1].Coef += m.Coef
+			continue
 		}
+		out = append(out, m)
 	}
-	out := make([]Mono, 0, len(byKey))
-	for _, m := range byKey {
+	kept := out[:0]
+	for _, m := range out {
 		if m.Coef != 0 {
-			out = append(out, m)
+			kept = append(kept, m)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
-	return Poly{monos: out}
+	if len(kept) == 0 {
+		return Poly{}
+	}
+	return Poly{monos: kept}
 }
 
 // Monomials returns a copy of the monomials in canonical order.
@@ -170,18 +202,29 @@ func (p Poly) Mul(q Poly) Poly {
 }
 
 func mulMono(a, b Mono) Mono {
-	pows := map[string]int{}
-	for _, pw := range a.Pows {
-		pows[pw.Var] += pw.Exp
-	}
-	for _, pw := range b.Pows {
-		pows[pw.Var] += pw.Exp
-	}
+	// Both factors keep their Pows sorted by Var, so the product is a
+	// linear merge.
 	out := Mono{Coef: a.Coef * b.Coef}
-	for v, e := range pows {
-		out.Pows = append(out.Pows, Pow{Var: v, Exp: e})
+	if len(a.Pows)+len(b.Pows) > 0 {
+		out.Pows = make([]Pow, 0, len(a.Pows)+len(b.Pows))
 	}
-	sort.Slice(out.Pows, func(i, j int) bool { return out.Pows[i].Var < out.Pows[j].Var })
+	i, j := 0, 0
+	for i < len(a.Pows) && j < len(b.Pows) {
+		switch {
+		case a.Pows[i].Var == b.Pows[j].Var:
+			out.Pows = append(out.Pows, Pow{Var: a.Pows[i].Var, Exp: a.Pows[i].Exp + b.Pows[j].Exp})
+			i++
+			j++
+		case a.Pows[i].Var < b.Pows[j].Var:
+			out.Pows = append(out.Pows, a.Pows[i])
+			i++
+		default:
+			out.Pows = append(out.Pows, b.Pows[j])
+			j++
+		}
+	}
+	out.Pows = append(out.Pows, a.Pows[i:]...)
+	out.Pows = append(out.Pows, b.Pows[j:]...)
 	return out
 }
 
@@ -204,7 +247,7 @@ func (p Poly) Eval(env map[string]int64) int64 {
 
 // Subst replaces the named variable with the polynomial r.
 func (p Poly) Subst(name string, r Poly) Poly {
-	out := Poly{}
+	var ms []Mono
 	for _, m := range p.monos {
 		term := PolyConst(m.Coef)
 		for _, pw := range m.Pows {
@@ -218,9 +261,9 @@ func (p Poly) Subst(name string, r Poly) Poly {
 				term = term.Mul(base)
 			}
 		}
-		out = out.Add(term)
+		ms = append(ms, term.monos...)
 	}
-	return out
+	return normalize(ms)
 }
 
 // Equal reports whether p and q are the same polynomial.

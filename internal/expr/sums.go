@@ -110,8 +110,8 @@ func SumOverTriplet(p Poly, name string, t space.Triplet) Poly {
 	// Substitute i = lo + step·j, then sum each power of j in closed form.
 	sub := PolyConst(t.Lo).Add(PolyVar("__j").ScaleInt(t.Step))
 	q := p.Subst(name, sub)
-	out := Poly{}
-	for _, m := range q.Monomials() {
+	ms := make([]Mono, 0, len(q.monos))
+	for _, m := range q.monos {
 		jexp := 0
 		rest := Mono{Coef: m.Coef}
 		for _, pw := range m.Pows {
@@ -121,9 +121,10 @@ func SumOverTriplet(p Poly, name string, t space.Triplet) Poly {
 				rest.Pows = append(rest.Pows, pw)
 			}
 		}
-		out = out.Add(Poly{monos: []Mono{rest}}.ScaleInt(PowerSum(jexp, n)))
+		rest.Coef *= PowerSum(jexp, n)
+		ms = append(ms, rest)
 	}
-	return out
+	return normalize(ms)
 }
 
 // SumOverSpace sums p over the whole iteration space, innermost variable

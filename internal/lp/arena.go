@@ -30,6 +30,18 @@ type Stats struct {
 	// eta file is rebuilt from scratch every refactorStride pivots and
 	// at every warm start).
 	Refactors int64
+	// PresolveFixed counts variables the Reduce presolver fixed to a
+	// constant (pins and everything a pin chain reaches) and
+	// substituted out before any solve ran.
+	PresolveFixed int
+	// PresolveContracted counts variables Reduce eliminated by
+	// contracting difference-equality chains into their class
+	// representative, plus dropped zero-weight θ terms.
+	PresolveContracted int
+	// Blocks counts the independent blocks actually solved after
+	// Reduce split a problem (warm rounds skip clean blocks, which are
+	// not counted).
+	Blocks int
 	// Phase1 and Phase2 are the wall times spent pivoting in the
 	// feasibility and optimality phases.
 	Phase1, Phase2 time.Duration
@@ -44,6 +56,9 @@ func (s *Stats) Add(o Stats) {
 	s.Pivots += o.Pivots
 	s.Augments += o.Augments
 	s.Refactors += o.Refactors
+	s.PresolveFixed += o.PresolveFixed
+	s.PresolveContracted += o.PresolveContracted
+	s.Blocks += o.Blocks
 	s.Phase1 += o.Phase1
 	s.Phase2 += o.Phase2
 }

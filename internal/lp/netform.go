@@ -1,7 +1,5 @@
 package lp
 
-import "sort"
-
 // This file recognizes network-structured problems: LPs whose every
 // constraint is a difference equality, a pin, or an absolute-difference
 // θ pair. Such problems are the LP dual of a min-cost circulation and
@@ -89,6 +87,30 @@ func (p *Problem) NetworkForm() (*NetForm, bool) {
 			pinned[v], pinVal[v] = true, val
 		}
 	}
+	// Width prefilter: a classifiable row has at most 3 unpinned
+	// entries (θ plus a difference) when GE, at most 2 when EQ, and LE
+	// rows never classify. Rejecting on a bare count — before the
+	// folded per-row views below are allocated and sorted — makes the
+	// common failing probe (a mobile RLP whose θ rows couple two
+	// (c0, ck) pairs) cost one map scan instead of a full build.
+	for i := range p.cons {
+		c := &p.cons[i]
+		if c.op == LE {
+			return nil, false
+		}
+		if c.op == EQ && len(c.coefs) == 1 {
+			continue // pin row
+		}
+		unpinned := 0
+		for v := range c.coefs {
+			if !pinned[v] {
+				unpinned++
+			}
+		}
+		if (c.op == EQ && unpinned > 2) || (c.op == GE && unpinned > 3) {
+			return nil, false
+		}
+	}
 	// Folded view of each constraint: pinned variables removed, their
 	// contribution folded into the right-hand side. Entries are sorted
 	// by variable for deterministic classification.
@@ -110,7 +132,13 @@ func (p *Problem) NetworkForm() (*NetForm, bool) {
 			}
 			es = append(es, fent{v: v, a: a})
 		}
-		sort.Slice(es, func(x, y int) bool { return es[x].v < es[y].v })
+		// Insertion sort: the prefilter bounds rows at 3 entries, where
+		// sort.Slice's reflection overhead costs more than the sort.
+		for x := 1; x < len(es); x++ {
+			for y := x; y > 0 && es[y].v < es[y-1].v; y-- {
+				es[y], es[y-1] = es[y-1], es[y]
+			}
+		}
 		fcoefs[i], frhs[i] = es, rhs
 		for _, e := range es {
 			occ[e.v]++

@@ -76,6 +76,31 @@ type Options struct {
 	// tableau otherwise; EngineDense / EngineSparse force a core
 	// (differential testing, benchmarking baselines).
 	Engine Engine
+	// Presolve gates Problem.Reduce, the contraction/block-split
+	// presolver callers may run before Solve: PresolveAuto (the zero
+	// value) allows it, PresolveOff makes Reduce decline so every solve
+	// runs on the problem exactly as built (differential testing,
+	// baseline measurement).
+	Presolve PresolveMode
+}
+
+// PresolveMode gates the Reduce presolver; see Options.Presolve.
+type PresolveMode int
+
+// Presolve modes.
+const (
+	// PresolveAuto (the default) lets Reduce contract and block-split
+	// the problem.
+	PresolveAuto PresolveMode = iota
+	// PresolveOff makes Reduce always decline.
+	PresolveOff
+)
+
+func (m PresolveMode) String() string {
+	if m == PresolveOff {
+		return "off"
+	}
+	return "auto"
 }
 
 // SetOptions attaches solve limits; the zero Options restores defaults.

@@ -60,6 +60,10 @@ func TestAlignBatchPanicAndBudgetIsolation(t *testing.T) {
 	const badPanic, badBudget = 7, 19
 	opts := DefaultOptions()
 	opts.MaxLPIter = 250 // fig1 family needs < 200, hungry needs > 300
+	// The thresholds above were measured on the monolithic simplex path;
+	// the presolver's block decomposition lets the hungry program finish
+	// inside the budget, so pin the path the test is about.
+	opts.NoPresolve = true
 
 	good := make([]string, 0, n-2)
 	srcs := make([]string, 0, n)

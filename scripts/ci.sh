@@ -30,7 +30,7 @@ echo "== go test -race (batch engine: cache, singleflight, scheduler)"
 go test -race -run 'TestCache|TestAlignSingleflight|TestScheduler|TestAlignBatch|TestScratch|TestBatchDeterminism' \
     ./internal/align/ .
 
-echo "== go test -race (differential: dense vs sparse vs network engines)"
+echo "== go test -race (differential: dense vs sparse vs network vs presolved)"
 go test -race -run Differential ./internal/align/ ./internal/lp/
 
 echo "== go test -race (robustness: cancellation, panic isolation, budgets)"
@@ -42,25 +42,27 @@ go test -run='^$' -fuzz=FuzzLexer -fuzztime=10s ./internal/lang
 echo "== bench smoke (1x: benchmarks must build, run, and hold their gates)"
 go test -run=NONE -bench=. -benchtime=1x .
 
-echo "== incremental smoke (1-edit re-solve must hold its 5x gate under -benchmem)"
+echo "== incremental smoke (1-edit re-solve must hold its 4x gate under -benchmem)"
 go test -run=NONE -bench=BenchmarkIncrementalEdit -benchtime=1x -benchmem .
 
 echo "== benchmem smoke (steady-state allocs/op must not regress)"
 # Committed thresholds with generous headroom over the measured steady
-# state (rank4 ~690 allocs/op, batch mixed ~235k allocs/op at 1x): a
-# breach means a pooled hot path started allocating per solve again.
-go test -run=NONE -bench='BenchmarkAxisStride/rank4|BenchmarkBatchThroughput/mixed' \
+# state (rank4 ~690 allocs/op, batch mixed ~235k allocs/op, presolved
+# refinement round ~780 allocs/op at 1x): a breach means a pooled hot
+# path started allocating per solve again.
+go test -run=NONE -bench='BenchmarkAxisStride/rank4|BenchmarkBatchThroughput/mixed|BenchmarkOffsetSolverPresolve' \
     -benchtime=1x -benchmem . | awk '
     $NF == "allocs/op" {
         n = $(NF - 1) + 0
         if ($1 ~ /^BenchmarkAxisStride\/rank4/)       { seen++; gate = 2000 }
         else if ($1 ~ /^BenchmarkBatchThroughput\/mixed/) { seen++; gate = 700000 }
+        else if ($1 ~ /^BenchmarkOffsetSolverPresolve/)   { seen++; gate = 3000 }
         else next
         printf "%s: %d allocs/op (gate %d)\n", $1, n, gate
         if (n > gate) { printf "allocs/op regression: %s\n", $1; bad = 1 }
     }
     END {
-        if (seen != 2) { printf "benchmem smoke: matched %d benchmarks, want 2\n", seen; bad = 1 }
+        if (seen != 3) { printf "benchmem smoke: matched %d benchmarks, want 3\n", seen; bad = 1 }
         exit bad
     }'
 
