@@ -21,9 +21,12 @@
 //
 // -timeout bounds each solve and -deadline bounds the whole batch;
 // slots that miss their budget report per-file errors while the rest
-// complete. Interrupting a batch (Ctrl-C) drains gracefully: running
-// solves abort at their next cancellation check and the summary is
-// still printed for everything that finished.
+// complete. Interrupting a batch (Ctrl-C or SIGTERM) drains gracefully:
+// running solves abort at their next cancellation check and the summary
+// is still printed for everything that finished. Per-slot errors go to
+// stderr; stdout carries only result and summary rows. The exit status
+// is 0 only when every slot finished: failed or unfinished slots exit 1
+// so scripted callers can trust the code instead of scraping output.
 package main
 
 import (
@@ -39,6 +42,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro"
@@ -53,7 +57,11 @@ do k = 1, 100
 enddo
 `
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main with an exit code: profile defers must fire before the
+// process exits, which os.Exit in main's own frame would skip.
+func run() int {
 	strategy := flag.String("strategy", "fixed", "mobile offset strategy: fixed, unroll, search, zerotrack, recursive")
 	m := flag.Int("m", 3, "subranges per loop level for fixed partitioning")
 	norepl := flag.Bool("norepl", false, "disable replication labeling")
@@ -128,20 +136,21 @@ func main() {
 		fatal(fmt.Errorf("unknown strategy %q", *strategy))
 	}
 
-	// Ctrl-C cancels the context: running solves abort at their next
-	// cancellation check instead of being killed mid-batch, and the batch
-	// summary still covers everything that finished. A second interrupt
-	// (after stop) kills the process the usual way.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// Ctrl-C or SIGTERM (what init systems and orchestrators send — the
+	// same drain set alignd hooks) cancels the context: running solves
+	// abort at their next cancellation check instead of being killed
+	// mid-batch, and the batch summary still covers everything that
+	// finished. A second signal (after stop) kills the process the
+	// usual way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	if *batch != "" {
-		runBatch(ctx, *batch, opts, *workers, *timeout, *deadline)
-		return
+		return runBatch(ctx, *batch, opts, *workers, *timeout, *deadline)
 	}
 	if *editstream > 0 {
 		runEditStream(ctx, *editstream, opts)
-		return
+		return 0
 	}
 
 	if *timeout > 0 {
@@ -170,7 +179,7 @@ func main() {
 	}
 	if *dot {
 		fmt.Print(res.Graph.Dot())
-		return
+		return 0
 	}
 	fmt.Println(res.Report())
 	if *top > 0 {
@@ -183,6 +192,7 @@ func main() {
 		fmt.Printf("machine simulation (%s grid): %s\n", *grid, tr)
 		fmt.Printf("modeled time: %.0f units\n", tr.Time(cfg))
 	}
+	return 0
 }
 
 // editComponent renders one independent loop computation over arrays
@@ -260,11 +270,13 @@ func runEditStream(ctx context.Context, n int, opts repro.Options) {
 // and prints a per-file summary plus aggregate throughput and cache
 // statistics. Files are sorted by name so the output (and the result
 // order) is deterministic regardless of filesystem enumeration. The
-// context carries the SIGINT drain; deadline (when > 0) additionally
-// bounds the whole batch and timeout bounds each solve. Interrupted or
-// expired runs still print the summary: completed slots report their
-// costs, canceled ones their errors.
-func runBatch(ctx context.Context, glob string, opts repro.Options, workers int, timeout, deadline time.Duration) {
+// context carries the SIGINT/SIGTERM drain; deadline (when > 0)
+// additionally bounds the whole batch and timeout bounds each solve.
+// Interrupted or expired runs still print the summary: completed slots
+// report their costs on stdout, failed ones their errors on stderr.
+// The returned exit code is 0 only when every slot finished cleanly;
+// any failed slot — or a fired deadline or drain — makes it 1.
+func runBatch(ctx context.Context, glob string, opts repro.Options, workers int, timeout, deadline time.Duration) int {
 	files, err := filepath.Glob(glob)
 	if err != nil {
 		fatal(err)
@@ -299,7 +311,7 @@ func runBatch(ctx context.Context, glob string, opts repro.Options, workers int,
 			if errors.Is(br.Err, context.Canceled) || errors.Is(br.Err, context.DeadlineExceeded) {
 				canceled++
 			}
-			fmt.Printf("%-30s ERROR %v\n", files[i], br.Err)
+			fmt.Fprintf(os.Stderr, "%-30s ERROR %v\n", files[i], br.Err)
 			continue
 		}
 		tag := ""
@@ -323,6 +335,10 @@ func runBatch(ctx context.Context, glob string, opts repro.Options, workers int,
 		fmt.Fprintf(os.Stderr, "alignc: batch %s — %d of %d slots unfinished\n",
 			reason, canceled, len(srcs))
 	}
+	if failed > 0 || ctx.Err() != nil {
+		return 1
+	}
+	return 0
 }
 
 func parseGrid(s string, rank int) []int {

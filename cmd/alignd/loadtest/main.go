@@ -1,0 +1,253 @@
+// Command loadtest drives an alignd daemon with thousands of
+// concurrent clients over a mixed program corpus and reports latency
+// percentiles (p50/p99/p999), throughput, and status-code counts.
+//
+//	loadtest -addr 127.0.0.1:7421 -clients 1000 -requests 8
+//	loadtest -self -clients 1000 -requests 8
+//
+// With -self it spins up an in-process daemon on a loopback listener,
+// runs the load, then drains and checks for leaks (goroutines, worker
+// leases, tenant slots) — the standing acceptance harness for the E18
+// serving experiment. The exit code is non-zero when any request fails
+// unexpectedly or a leak survives the drain.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/service"
+)
+
+type result struct {
+	status  int
+	latency time.Duration
+	err     error
+}
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	addr := flag.String("addr", "", "address of a running alignd (host:port)")
+	self := flag.Bool("self", false, "spin up an in-process daemon instead of dialing -addr")
+	clients := flag.Int("clients", 1000, "concurrent clients")
+	requests := flag.Int("requests", 8, "requests per client")
+	corpus := flag.Int("corpus", 32, "distinct programs in the mixed corpus")
+	workers := flag.Int("workers", 0, "worker budget of the -self daemon (0 = GOMAXPROCS)")
+	tenants := flag.Int("tenants", 4, "tenant keys the clients spread across (0 = all default)")
+	batchEvery := flag.Int("batch-every", 7, "every Nth request is a 4-program batch (0 disables batches)")
+	jsonOut := flag.Bool("json", false, "print a machine-readable summary to stdout")
+	flag.Parse()
+
+	if (*addr == "") == !*self {
+		fmt.Fprintln(os.Stderr, "loadtest: need exactly one of -addr or -self")
+		return 2
+	}
+
+	var srv *service.Server
+	base := "http://" + *addr
+	if *self {
+		srv = service.New(service.Config{Workers: *workers, TenantBudget: -1})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadtest:", err)
+			return 1
+		}
+		hs := &http.Server{Handler: srv}
+		defer hs.Close()
+		go hs.Serve(ln) //nolint:errcheck // closed on exit
+		base = "http://" + ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "loadtest: self daemon on %s (%d workers)\n",
+			ln.Addr(), srv.Scheduler().Workers())
+	}
+	goroutinesBefore := runtime.NumGoroutine()
+
+	srcs := mixedCorpus(*corpus)
+	transport := &http.Transport{MaxIdleConns: *clients, MaxIdleConnsPerHost: *clients}
+	client := &http.Client{Transport: transport, Timeout: 5 * time.Minute}
+
+	total := *clients * *requests
+	results := make([]result, total)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			tenant := ""
+			if *tenants > 0 {
+				tenant = fmt.Sprintf("tenant-%d", c%*tenants)
+			}
+			for r := 0; r < *requests; r++ {
+				i := c**requests + r
+				results[i] = oneRequest(client, base, tenant, srcs, i, *batchEvery)
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	byStatus := map[int]int{}
+	var errs int
+	latencies := make([]time.Duration, 0, total)
+	for _, r := range results {
+		if r.err != nil {
+			errs++
+			continue
+		}
+		byStatus[r.status]++
+		latencies = append(latencies, r.latency)
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	p50 := percentile(latencies, 0.50)
+	p99 := percentile(latencies, 0.99)
+	p999 := percentile(latencies, 0.999)
+	throughput := float64(total) / elapsed.Seconds()
+
+	fmt.Fprintf(os.Stderr, "loadtest: %d clients x %d requests in %v (%.0f req/s)\n",
+		*clients, *requests, elapsed.Round(time.Millisecond), throughput)
+	fmt.Fprintf(os.Stderr, "loadtest: p50 %v  p99 %v  p999 %v\n", p50, p99, p999)
+	for _, code := range sortedKeys(byStatus) {
+		fmt.Fprintf(os.Stderr, "loadtest: status %d x %d\n", code, byStatus[code])
+	}
+	if errs > 0 {
+		fmt.Fprintf(os.Stderr, "loadtest: %d transport errors\n", errs)
+	}
+
+	code := 0
+	if errs > 0 || byStatus[http.StatusOK] != total {
+		fmt.Fprintf(os.Stderr, "loadtest: FAIL: %d of %d requests did not return 200\n",
+			total-byStatus[http.StatusOK], total)
+		code = 1
+	}
+	if *self {
+		if err := srv.Drain(time.Minute); err != nil {
+			fmt.Fprintln(os.Stderr, "loadtest: FAIL:", err)
+			code = 1
+		}
+		if st := srv.Scheduler().Stats(); st.Leased != 0 || st.Waiting != 0 {
+			fmt.Fprintf(os.Stderr, "loadtest: FAIL: leaked leases after drain: %+v\n", st)
+			code = 1
+		}
+		// Allow the handful of runtime/http bookkeeping goroutines; a
+		// real leak scales with clients x requests.
+		client.CloseIdleConnections()
+		deadline := time.Now().Add(10 * time.Second)
+		for runtime.NumGoroutine() > goroutinesBefore+10 && time.Now().Before(deadline) {
+			time.Sleep(50 * time.Millisecond)
+		}
+		if got := runtime.NumGoroutine(); got > goroutinesBefore+10 {
+			fmt.Fprintf(os.Stderr, "loadtest: FAIL: %d goroutines after drain (started with %d)\n",
+				got, goroutinesBefore)
+			code = 1
+		}
+	}
+	if *jsonOut {
+		json.NewEncoder(os.Stdout).Encode(map[string]any{ //nolint:errcheck
+			"clients": *clients, "requests": total,
+			"p50_ns": int64(p50), "p99_ns": int64(p99), "p999_ns": int64(p999),
+			"throughput_rps": throughput, "ok": byStatus[http.StatusOK],
+			"errors": errs, "elapsed_ns": int64(elapsed),
+		})
+	}
+	if code == 0 {
+		fmt.Fprintln(os.Stderr, "loadtest: PASS")
+	}
+	return code
+}
+
+// oneRequest issues request i of the mixed protocol: every batchEvery-th
+// request is a 4-program streaming batch (drained to completion, its
+// latency is time-to-last-byte), the rest single solves.
+func oneRequest(client *http.Client, base, tenant string, srcs []string, i, batchEvery int) result {
+	var body any
+	url := base + "/v1/solve"
+	if batchEvery > 0 && i%batchEvery == batchEvery-1 {
+		url = base + "/v1/batch"
+		programs := make([]string, 4)
+		for j := range programs {
+			programs[j] = srcs[(i+j)%len(srcs)]
+		}
+		body = service.BatchRequest{Programs: programs}
+	} else {
+		body = service.SolveRequest{Source: srcs[i%len(srcs)]}
+	}
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return result{err: err}
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(raw))
+	if err != nil {
+		return result{err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	t0 := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return result{err: err}
+	}
+	_, err = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return result{err: err}
+	}
+	return result{status: resp.StatusCode, latency: time.Since(t0)}
+}
+
+// mixedCorpus mirrors the batch bench generator: four template families
+// with sizes varied per index, so the daemon sees a realistic mix of
+// distinct cache keys rather than one hot program.
+func mixedCorpus(n int) []string {
+	srcs := make([]string, n)
+	for i := range srcs {
+		switch i % 4 {
+		case 0:
+			srcs[i] = fmt.Sprintf("\nreal U(%d), F(%d)\ndo k = 1, %d\n  U(k:k+29) = U(k:k+29) + F(k:k+29)\nenddo\n",
+				80+i, 80+i, 8+i%8)
+		case 1:
+			m := 40 + i
+			srcs[i] = fmt.Sprintf("\nreal A(%d,%d), V(%d)\ndo k = 1, %d\n  A(k,1:%d) = A(k,1:%d) + V(k:k+%d)\nenddo\n",
+				m, m, 2*m, m, m, m, m-1)
+		case 2:
+			srcs[i] = fmt.Sprintf("\nreal B(%d,%d), C(%d,%d)\nB = B + transpose(C)\nB = B * 2\nC = transpose(B)\n",
+				64+i, 32+i, 32+i, 64+i)
+		default:
+			srcs[i] = fmt.Sprintf("\nreal T(%d), B(%d,%d)\ndo k = 1, 8\n  T = cos(T)\n  B = B + spread(T, 2, %d)\nenddo\n",
+				50+i, 50+i, 100+i, 100+i)
+		}
+	}
+	return srcs
+}
+
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func sortedKeys(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

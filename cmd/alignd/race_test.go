@@ -1,0 +1,7 @@
+//go:build race
+
+package main
+
+// raceEnabled reports whether the race detector is active, so the
+// binary tests build the child daemon with the same instrumentation.
+const raceEnabled = true

@@ -1,17 +1,23 @@
-// Command benchreport runs the experiment suite (the E1–E17 table of
+// Command benchreport runs the experiment suite (the E1–E18 table of
 // DESIGN.md) directly — without the testing harness — and prints the
 // paper-vs-measured comparison rows recorded in EXPERIMENTS.md. Alongside
 // the text report it writes a machine-readable perf snapshot (phase
-// times, DP effort, LP effort, cache hit rate) to BENCH_align.json
-// (override the path with -json, disable with -json "").
+// times, DP effort, LP effort, cache hit rate, service latency) to
+// BENCH_align.json (override the path with -json, disable with -json "").
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
+	"sort"
+	"sync"
 	"time"
 
 	"repro"
@@ -21,6 +27,7 @@ import (
 	"repro/internal/lang"
 	"repro/internal/lp"
 	"repro/internal/machine"
+	"repro/internal/service"
 	"repro/internal/space"
 )
 
@@ -43,6 +50,7 @@ func main() {
 	snap.FlatState = e15()
 	snap.Incremental = e16()
 	snap.Presolve = e17()
+	snap.Service = e18()
 	if *jsonPath != "" {
 		writeSnapshot(*jsonPath, snap)
 	}
@@ -245,8 +253,12 @@ enddo
 // the per-region cache hit rate of the edit);
 // v6 — the E17 presolve rows (offsets phase with the RLP presolver off
 // versus on: pivot counts, reduction and block counters, and the flow
-// path's per-block reach).
-const schemaVersion = 6
+// path's per-block reach);
+// v7 — the E18 service rows (alignd load test: 1000 concurrent clients
+// over the mixed corpus through the in-process daemon — p50/p99/p999
+// request latency, throughput, status mix, and the post-drain leak
+// check).
+const schemaVersion = 7
 
 // Snapshot is the machine-readable record benchreport writes alongside
 // the text report, so the perf trajectory (phase times, DP and LP effort,
@@ -262,6 +274,28 @@ type Snapshot struct {
 	FlatState     []FlatStateSnapshot    `json:"flat_state"`
 	Incremental   IncrementalSnapshot    `json:"incremental"`
 	Presolve      []PresolveSnapshot     `json:"presolve"`
+	Service       []ServiceSnapshot      `json:"service"`
+}
+
+// ServiceSnapshot is one E18 row: an alignd load run — N concurrent
+// clients driving the mixed corpus through the daemon's HTTP API
+// (solves plus streaming batches) — with end-to-end request latency
+// percentiles, throughput, and the status-code mix. DrainClean records
+// that the post-run SIGTERM-equivalent drain finished with zero leases
+// and no goroutine growth, the leak gate of the serving layer.
+type ServiceSnapshot struct {
+	Name          string  `json:"name"`
+	Clients       int     `json:"clients"`
+	Requests      int     `json:"requests"`
+	OK            int     `json:"ok"`
+	Throttled     int     `json:"throttled_429"`
+	Errors        int     `json:"errors"`
+	P50Ns         int64   `json:"p50_ns"`
+	P99Ns         int64   `json:"p99_ns"`
+	P999Ns        int64   `json:"p999_ns"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	ElapsedNs     int64   `json:"elapsed_ns"`
+	DrainClean    bool    `json:"drain_clean"`
 }
 
 // PresolveSnapshot is one E17 row: the cold offsets phase of a workload
@@ -874,6 +908,143 @@ func e17() []PresolveSnapshot {
 	return out
 }
 
+// e18 measures alignment-as-a-service: an in-process alignd core on a
+// loopback listener under 1000 concurrent clients (each issuing a short
+// mixed sequence of solves and streaming batches over the E13 corpus),
+// then a drain with leak checks — the serving acceptance of the north
+// star. Returns the E18 snapshot rows.
+func e18() []ServiceSnapshot {
+	const (
+		clients    = 1000
+		perClient  = 3
+		batchEvery = 7
+	)
+	goroutinesBefore := runtime.NumGoroutine()
+	srv := service.New(service.Config{TenantBudget: -1})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fail(err)
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln) //nolint:errcheck // closed below
+	base := "http://" + ln.Addr().String()
+	srcs := batchWorkload(32)
+	client := &http.Client{
+		Transport: &http.Transport{MaxIdleConns: clients, MaxIdleConnsPerHost: clients},
+		Timeout:   5 * time.Minute,
+	}
+
+	post := func(url string, body any) (int, time.Duration, error) {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return 0, 0, err
+		}
+		t0 := time.Now()
+		resp, err := client.Post(url, "application/json", bytes.NewReader(raw))
+		if err != nil {
+			return 0, 0, err
+		}
+		_, err = io.Copy(io.Discard, resp.Body) // batches stream: latency is time-to-last-byte
+		resp.Body.Close()
+		return resp.StatusCode, time.Since(t0), err
+	}
+
+	total := clients * perClient
+	type res struct {
+		status  int
+		latency time.Duration
+		err     error
+	}
+	results := make([]res, total)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < perClient; r++ {
+				i := c*perClient + r
+				var status int
+				var d time.Duration
+				var err error
+				if i%batchEvery == batchEvery-1 {
+					programs := []string{srcs[i%32], srcs[(i+1)%32], srcs[(i+2)%32], srcs[(i+3)%32]}
+					status, d, err = post(base+"/v1/batch", service.BatchRequest{Programs: programs})
+				} else {
+					status, d, err = post(base+"/v1/solve", service.SolveRequest{Source: srcs[i%32]})
+				}
+				results[i] = res{status, d, err}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	ok, throttled, errs := 0, 0, 0
+	latencies := make([]time.Duration, 0, total)
+	for _, r := range results {
+		switch {
+		case r.err != nil:
+			errs++
+		case r.status == http.StatusOK:
+			ok++
+			latencies = append(latencies, r.latency)
+		case r.status == http.StatusTooManyRequests:
+			throttled++
+		default:
+			errs++
+		}
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(q float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(latencies)))
+		if i >= len(latencies) {
+			i = len(latencies) - 1
+		}
+		return latencies[i]
+	}
+	if ok != total {
+		fail(fmt.Errorf("E18: %d of %d requests did not return 200 (%d throttled, %d errors)",
+			total-ok, total, throttled, errs))
+	}
+
+	// Drain (the SIGTERM path without the signal) and check for leaks:
+	// worker leases, tenant slots, and goroutine growth.
+	drainClean := true
+	if err := srv.Drain(time.Minute); err != nil {
+		fail(fmt.Errorf("E18: %w", err))
+	}
+	if st := srv.Scheduler().Stats(); st.Leased != 0 || st.Waiting != 0 {
+		fail(fmt.Errorf("E18: leases leaked after drain: %+v", st))
+	}
+	hs.Close()
+	client.CloseIdleConnections()
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > goroutinesBefore+10 && time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > goroutinesBefore+10 {
+		fail(fmt.Errorf("E18: %d goroutines after drain, started with %d", got, goroutinesBefore))
+	}
+
+	snap := ServiceSnapshot{
+		Name: "mixed-1000", Clients: clients, Requests: total,
+		OK: ok, Throttled: throttled, Errors: errs,
+		P50Ns: int64(pct(0.50)), P99Ns: int64(pct(0.99)), P999Ns: int64(pct(0.999)),
+		ThroughputRPS: float64(total) / elapsed.Seconds(),
+		ElapsedNs:     int64(elapsed), DrainClean: drainClean,
+	}
+	row("E18/serve", fmt.Sprintf("%d clients x %d reqs", clients, perClient),
+		"all 200, drain leak-free",
+		fmt.Sprintf("p50 %v p99 %v p999 %v (%.0f req/s)",
+			pct(0.50).Round(time.Microsecond), pct(0.99).Round(time.Microsecond),
+			pct(0.999).Round(time.Microsecond), snap.ThroughputRPS))
+	return []ServiceSnapshot{snap}
+}
+
 func timeIt(f func()) time.Duration {
 	t0 := time.Now()
 	f()
@@ -885,17 +1056,27 @@ func fail(err error) {
 	os.Exit(1)
 }
 
+// checkSnapshotWritable enforces the never-downgrade rule: a file
+// written by a newer benchreport (higher schema_version) is refused,
+// not clobbered. A missing or unreadable file is writable.
+func checkSnapshotWritable(path string) error {
+	old, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var existing struct {
+		SchemaVersion int `json:"schema_version"`
+	}
+	if err := json.Unmarshal(old, &existing); err == nil && existing.SchemaVersion > schemaVersion {
+		return fmt.Errorf("refusing to overwrite %s: its schema_version %d is newer than this binary's %d (rebuild benchreport)",
+			path, existing.SchemaVersion, schemaVersion)
+	}
+	return nil
+}
+
 func writeSnapshot(path string, snap Snapshot) {
-	// Never downgrade the perf record: a file written by a newer
-	// benchreport (higher schema_version) is refused, not clobbered.
-	if old, err := os.ReadFile(path); err == nil {
-		var existing struct {
-			SchemaVersion int `json:"schema_version"`
-		}
-		if err := json.Unmarshal(old, &existing); err == nil && existing.SchemaVersion > schemaVersion {
-			fail(fmt.Errorf("refusing to overwrite %s: its schema_version %d is newer than this binary's %d (rebuild benchreport)",
-				path, existing.SchemaVersion, schemaVersion))
-		}
+	if err := checkSnapshotWritable(path); err != nil {
+		fail(err)
 	}
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCheckSnapshotWritable pins the never-downgrade contract around
+// the current schemaVersion: same-or-older snapshots (and missing or
+// malformed files) are overwritable, strictly newer ones are refused.
+func TestCheckSnapshotWritable(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	if err := checkSnapshotWritable(filepath.Join(dir, "absent.json")); err != nil {
+		t.Errorf("missing file: %v, want writable", err)
+	}
+	if err := checkSnapshotWritable(write("garbage.json", "{not json")); err != nil {
+		t.Errorf("malformed file: %v, want writable", err)
+	}
+	for _, v := range []int{0, schemaVersion - 1, schemaVersion} {
+		p := write("same-or-older.json", fmt.Sprintf(`{"schema_version": %d}`, v))
+		if err := checkSnapshotWritable(p); err != nil {
+			t.Errorf("schema_version %d: %v, want writable", v, err)
+		}
+	}
+	p := write("newer.json", fmt.Sprintf(`{"schema_version": %d}`, schemaVersion+1))
+	if err := checkSnapshotWritable(p); err == nil {
+		t.Errorf("schema_version %d accepted, want refusal", schemaVersion+1)
+	}
+}

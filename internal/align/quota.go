@@ -1,0 +1,145 @@
+package align
+
+import (
+	"sort"
+	"sync"
+)
+
+// TenantQuota is the admission-control companion of Scheduler for
+// multi-tenant serving: each tenant (an opaque string key — the daemon
+// uses the X-Tenant header, with unidentified callers pooled under a
+// shared default key) holds a budget of concurrently admitted worker
+// slots. A request is admitted all-or-nothing: TryAcquire never blocks,
+// so a tenant over its budget is rejected immediately (the daemon
+// answers 429) instead of queueing unboundedly behind the scheduler —
+// one greedy tenant can fill its own quota but never the whole budget's
+// waiting line.
+//
+// Budgets are slots, not goroutines: the serving layer acquires one
+// slot per in-flight program (a batch of k programs weighs k), matching
+// the scheduler's one-worker-per-slot lease discipline, so a tenant's
+// quota bounds the scheduler capacity it can occupy or queue for.
+//
+// The zero budget means unlimited (admission always succeeds but usage
+// is still tracked); per-tenant overrides take precedence over the
+// default. All methods are safe for concurrent use.
+type TenantQuota struct {
+	mu        sync.Mutex
+	fallback  int            // budget for tenants without an override; <= 0 = unlimited
+	overrides map[string]int // per-tenant budget overrides
+	inuse     map[string]int
+	admitted  map[string]int64
+	throttled map[string]int64
+}
+
+// NewTenantQuota returns a quota set with the given default per-tenant
+// budget (<= 0 means unlimited) and optional per-tenant overrides
+// (an override <= 0 makes that tenant unlimited).
+func NewTenantQuota(defaultBudget int, overrides map[string]int) *TenantQuota {
+	q := &TenantQuota{
+		fallback:  defaultBudget,
+		overrides: make(map[string]int, len(overrides)),
+		inuse:     make(map[string]int),
+		admitted:  make(map[string]int64),
+		throttled: make(map[string]int64),
+	}
+	for t, b := range overrides {
+		q.overrides[t] = b
+	}
+	return q
+}
+
+// Budget returns the tenant's slot budget (0 = unlimited).
+func (q *TenantQuota) Budget(tenant string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.budgetLocked(tenant)
+}
+
+func (q *TenantQuota) budgetLocked(tenant string) int {
+	if b, ok := q.overrides[tenant]; ok {
+		if b <= 0 {
+			return 0
+		}
+		return b
+	}
+	if q.fallback <= 0 {
+		return 0
+	}
+	return q.fallback
+}
+
+// TryAcquire admits n slots for tenant if its budget allows, without
+// blocking. A rejection leaves usage unchanged and counts toward the
+// tenant's throttle statistic. n is clamped to at least 1.
+func (q *TenantQuota) TryAcquire(tenant string, n int) bool {
+	if n < 1 {
+		n = 1
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if b := q.budgetLocked(tenant); b > 0 && q.inuse[tenant]+n > b {
+		q.throttled[tenant]++
+		return false
+	}
+	q.inuse[tenant] += n
+	q.admitted[tenant]++
+	return true
+}
+
+// Release returns n slots previously admitted for tenant. Releasing
+// more than is in use panics: it means a serving-layer lease leak, the
+// exact bug the drain tests exist to catch.
+func (q *TenantQuota) Release(tenant string, n int) {
+	if n < 1 {
+		n = 1
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.inuse[tenant] < n {
+		panic("align: TenantQuota.Release without matching TryAcquire")
+	}
+	q.inuse[tenant] -= n
+}
+
+// TenantStats is one tenant's admission record.
+type TenantStats struct {
+	// Tenant is the tenant key.
+	Tenant string
+	// Budget is the slot budget (0 = unlimited).
+	Budget int
+	// InUse is how many slots the tenant currently holds.
+	InUse int
+	// Admitted counts successful TryAcquire calls (requests, not slots).
+	Admitted int64
+	// Throttled counts rejected TryAcquire calls.
+	Throttled int64
+}
+
+// Stats returns a snapshot for every tenant ever seen, sorted by key.
+func (q *TenantQuota) Stats() []TenantStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	seen := make(map[string]bool)
+	for t := range q.inuse {
+		seen[t] = true
+	}
+	for t := range q.admitted {
+		seen[t] = true
+	}
+	for t := range q.throttled {
+		seen[t] = true
+	}
+	out := make([]TenantStats, 0, len(seen))
+	for t := range seen {
+		out = append(out, TenantStats{
+			Tenant:    t,
+			Budget:    q.budgetLocked(t),
+			InUse:     q.inuse[t],
+			Admitted:  q.admitted[t],
+			Throttled: q.throttled[t],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}

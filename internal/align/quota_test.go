@@ -1,0 +1,166 @@
+package align
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTenantQuotaBudgets(t *testing.T) {
+	q := NewTenantQuota(2, map[string]int{"big": 5, "free": 0})
+	if got := q.Budget("anon"); got != 2 {
+		t.Fatalf("default budget = %d, want 2", got)
+	}
+	if got := q.Budget("big"); got != 5 {
+		t.Fatalf("override budget = %d, want 5", got)
+	}
+	if got := q.Budget("free"); got != 0 {
+		t.Fatalf("unlimited override budget = %d, want 0", got)
+	}
+
+	// Default-pool tenant: two slots fit, the third is throttled.
+	if !q.TryAcquire("anon", 1) || !q.TryAcquire("anon", 1) {
+		t.Fatal("first two acquisitions should be admitted")
+	}
+	if q.TryAcquire("anon", 1) {
+		t.Fatal("third acquisition should be throttled")
+	}
+	// A different tenant is unaffected by anon's occupancy.
+	if !q.TryAcquire("big", 5) {
+		t.Fatal("big tenant should fit its own budget")
+	}
+	if q.TryAcquire("big", 1) {
+		t.Fatal("big tenant over budget should be throttled")
+	}
+	// Weighted admission is all-or-nothing.
+	q.Release("anon", 1)
+	if q.TryAcquire("anon", 2) {
+		t.Fatal("weight-2 acquisition should not fit a budget with 1 free slot")
+	}
+	q.Release("anon", 1)
+	if !q.TryAcquire("anon", 2) {
+		t.Fatal("weight-2 acquisition should fit an empty budget of 2")
+	}
+	// Unlimited tenants always fit.
+	if !q.TryAcquire("free", 1000) {
+		t.Fatal("unlimited tenant should always be admitted")
+	}
+
+	stats := q.Stats()
+	byName := map[string]TenantStats{}
+	for _, s := range stats {
+		byName[s.Tenant] = s
+	}
+	if s := byName["anon"]; s.Throttled != 2 || s.Admitted != 3 || s.InUse != 2 {
+		t.Fatalf("anon stats = %+v, want 2 throttled, 3 admitted, 2 in use", s)
+	}
+	if s := byName["big"]; s.Throttled != 1 || s.InUse != 5 {
+		t.Fatalf("big stats = %+v, want 1 throttled, 5 in use", s)
+	}
+	for i := 1; i < len(stats); i++ {
+		if stats[i-1].Tenant >= stats[i].Tenant {
+			t.Fatalf("stats not sorted: %q before %q", stats[i-1].Tenant, stats[i].Tenant)
+		}
+	}
+}
+
+func TestTenantQuotaReleasePanics(t *testing.T) {
+	q := NewTenantQuota(4, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release without TryAcquire should panic")
+		}
+	}()
+	q.Release("anon", 1)
+}
+
+func TestSchedulerStatsAndAcquire(t *testing.T) {
+	s := NewScheduler(4)
+	if st := s.Stats(); st.Budget != 4 || st.Available != 4 || st.Leased != 0 || st.Waiting != 0 {
+		t.Fatalf("idle stats = %+v", st)
+	}
+	rel1, err := s.Acquire(context.Background(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Leased != 3 || st.Available != 1 {
+		t.Fatalf("stats after lease 3 = %+v", st)
+	}
+
+	// A second acquire for 2 must wait (only 1 available) and register
+	// as queue depth; releasing the first lease unblocks it.
+	acquired := make(chan func(), 1)
+	go func() {
+		rel, err := s.Acquire(context.Background(), 2)
+		if err != nil {
+			t.Error(err)
+		}
+		acquired <- rel
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Stats().Waiting == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if st := s.Stats(); st.Waiting != 1 {
+		t.Fatalf("stats while blocked = %+v, want Waiting 1", st)
+	}
+	rel1()
+	rel2 := <-acquired
+	if st := s.Stats(); st.Leased != 2 || st.Waiting != 0 {
+		t.Fatalf("stats after handoff = %+v", st)
+	}
+	rel2()
+	rel2() // release closure is idempotent
+	if st := s.Stats(); st.Leased != 0 || st.Available != 4 {
+		t.Fatalf("stats after release = %+v", st)
+	}
+
+	// Acquire gives up when its context dies while waiting.
+	relAll, err := s.Acquire(context.Background(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := s.Acquire(ctx, 1); err == nil {
+		t.Fatal("Acquire under a dead context should fail")
+	}
+	relAll()
+	if st := s.Stats(); st.Leased != 0 || st.Waiting != 0 {
+		t.Fatalf("stats after canceled waiter = %+v", st)
+	}
+}
+
+func TestSchedulerAcquireClamps(t *testing.T) {
+	s := NewScheduler(2)
+	// n above the budget clamps to the budget instead of deadlocking.
+	rel, err := s.Acquire(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Leased != 2 {
+		t.Fatalf("clamped lease = %+v, want Leased 2", st)
+	}
+	rel()
+
+	// Concurrent one-slot acquires over the budget all complete.
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rel, err := s.Acquire(context.Background(), 1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+			rel()
+		}()
+	}
+	wg.Wait()
+	if st := s.Stats(); st.Leased != 0 || st.Waiting != 0 {
+		t.Fatalf("stats after churn = %+v", st)
+	}
+}

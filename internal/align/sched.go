@@ -25,9 +25,10 @@ type Scheduler struct {
 	budget  int
 	scratch scratchPool
 
-	mu    sync.Mutex
-	cond  *sync.Cond
-	avail int
+	mu      sync.Mutex
+	cond    *sync.Cond
+	avail   int
+	waiting int // acquire calls currently blocked on budget
 }
 
 // NewScheduler returns a scheduler with a budget of workers
@@ -43,6 +44,54 @@ func NewScheduler(workers int) *Scheduler {
 
 // Workers returns the scheduler's global worker budget.
 func (s *Scheduler) Workers() int { return s.budget }
+
+// SchedulerStats is a point-in-time snapshot of the scheduler's budget
+// occupancy, exported for serving-layer observability (queue depth and
+// in-flight lease gauges).
+type SchedulerStats struct {
+	// Budget is the total worker budget.
+	Budget int
+	// Available is how many workers are currently unleased.
+	Available int
+	// Leased is Budget - Available: workers held by in-flight solves.
+	Leased int
+	// Waiting is how many acquire calls are blocked on budget — the
+	// scheduler's queue depth.
+	Waiting int
+}
+
+// Stats returns a consistent snapshot of the scheduler's occupancy.
+func (s *Scheduler) Stats() SchedulerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SchedulerStats{
+		Budget:    s.budget,
+		Available: s.avail,
+		Leased:    s.budget - s.avail,
+		Waiting:   s.waiting,
+	}
+}
+
+// Acquire claims n workers from the budget (clamped to [1, Workers]),
+// blocking until they are available or ctx dies, and returns a release
+// closure that must be called exactly once to return them. Acquisition
+// is all-or-nothing, like every lease of this scheduler. It is the
+// admission point for callers that manage their own per-job dispatch
+// (the serving layer leases one worker per admitted program slot and
+// runs the solve with AlignLeasedContext under that lease).
+func (s *Scheduler) Acquire(ctx context.Context, n int) (release func(), err error) {
+	if n < 1 {
+		n = 1
+	}
+	if n > s.budget {
+		n = s.budget
+	}
+	if err := s.acquireCtx(ctx, n); err != nil {
+		return nil, err
+	}
+	var once sync.Once
+	return func() { once.Do(func() { s.release(n) }) }, nil
+}
 
 // lease is the worker share granted to each of n jobs: budget/n when
 // the batch is narrower than the budget (leftover workers boost
@@ -62,7 +111,9 @@ func (s *Scheduler) lease(n int) int {
 func (s *Scheduler) acquire(n int) {
 	s.mu.Lock()
 	for s.avail < n {
+		s.waiting++
 		s.cond.Wait()
+		s.waiting--
 	}
 	s.avail -= n
 	s.mu.Unlock()
@@ -92,7 +143,9 @@ func (s *Scheduler) acquireCtx(ctx context.Context, n int) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		s.waiting++
 		s.cond.Wait()
+		s.waiting--
 	}
 	s.avail -= n
 	return nil

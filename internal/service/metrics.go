@@ -1,0 +1,229 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBounds are the histogram bucket upper bounds in seconds. They
+// span 200µs (a warm cache hit over loopback) to 60s (a pathological
+// cold solve under full queueing) roughly geometrically, which keeps
+// the interpolated p999 honest across four orders of magnitude.
+var latencyBounds = []float64{
+	0.0002, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// histogram is a fixed-bucket concurrent latency histogram. Observations
+// and scrapes are lock-free; quantiles are linearly interpolated inside
+// the winning bucket, the standard Prometheus histogram_quantile shape.
+type histogram struct {
+	counts []atomic.Int64 // len(latencyBounds)+1; last = +Inf overflow
+	sumNs  atomic.Int64
+	count  atomic.Int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]atomic.Int64, len(latencyBounds)+1)}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	s := d.Seconds()
+	i := sort.SearchFloat64s(latencyBounds, s)
+	h.counts[i].Add(1)
+	h.sumNs.Add(int64(d))
+	h.count.Add(1)
+}
+
+// quantile returns the q-quantile in seconds (0 when empty). The +Inf
+// bucket reports the largest finite bound — a floor, clearly saturated.
+func (h *histogram) quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if float64(cum)+float64(c) >= rank {
+			if i >= len(latencyBounds) {
+				return latencyBounds[len(latencyBounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = latencyBounds[i-1]
+			}
+			if c == 0 {
+				return latencyBounds[i]
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			return lo + frac*(latencyBounds[i]-lo)
+		}
+		cum += c
+	}
+	return latencyBounds[len(latencyBounds)-1]
+}
+
+// Quantiles returns the (p50, p99, p999) of observed latencies.
+func (h *histogram) Quantiles() (p50, p99, p999 float64) {
+	return h.quantile(0.50), h.quantile(0.99), h.quantile(0.999)
+}
+
+// metrics is the daemon's counter registry. Request counters are keyed
+// by endpoint and status code; the solve histogram observes per-program
+// solve latency (each batch slot separately), which is the latency the
+// E18 load-test percentiles track.
+type metrics struct {
+	start time.Time
+
+	solveHist *histogram
+
+	mu       sync.Mutex
+	requests map[string]map[int]int64 // endpoint → status code → count
+
+	inflightRequests atomic.Int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		start:     time.Now(),
+		solveHist: newHistogram(),
+		requests:  make(map[string]map[int]int64),
+	}
+}
+
+func (m *metrics) countRequest(endpoint string, code int) {
+	m.mu.Lock()
+	byCode := m.requests[endpoint]
+	if byCode == nil {
+		byCode = make(map[int]int64)
+		m.requests[endpoint] = byCode
+	}
+	byCode[code]++
+	m.mu.Unlock()
+}
+
+// requestCounts returns a deterministic flat copy of the request
+// counters, sorted by endpoint then code.
+type requestCount struct {
+	Endpoint string `json:"endpoint"`
+	Code     int    `json:"code"`
+	Count    int64  `json:"count"`
+}
+
+func (m *metrics) requestCounts() []requestCount {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []requestCount
+	for ep, byCode := range m.requests {
+		for code, n := range byCode {
+			out = append(out, requestCount{Endpoint: ep, Code: code, Count: n})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Endpoint != out[j].Endpoint {
+			return out[i].Endpoint < out[j].Endpoint
+		}
+		return out[i].Code < out[j].Code
+	})
+	return out
+}
+
+// MetricsText renders the Prometheus text-format scrape: request
+// counters, the solve-latency histogram and its precomputed summary
+// quantiles, queue/lease/cache gauges, and per-tenant admission
+// counters. The output is deterministic (all label sets sorted).
+func (s *Server) MetricsText() string {
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format, args...) }
+
+	w("# HELP alignd_requests_total HTTP requests served, by endpoint and status code.\n")
+	w("# TYPE alignd_requests_total counter\n")
+	for _, rc := range s.metrics.requestCounts() {
+		w("alignd_requests_total{endpoint=%q,code=\"%d\"} %d\n", rc.Endpoint, rc.Code, rc.Count)
+	}
+
+	h := s.metrics.solveHist
+	w("# HELP alignd_solve_duration_seconds Per-program solve latency (each batch slot observed separately).\n")
+	w("# TYPE alignd_solve_duration_seconds histogram\n")
+	var cum int64
+	for i, bound := range latencyBounds {
+		cum += h.counts[i].Load()
+		w("alignd_solve_duration_seconds_bucket{le=%q} %d\n", formatBound(bound), cum)
+	}
+	cum += h.counts[len(latencyBounds)].Load()
+	w("alignd_solve_duration_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	w("alignd_solve_duration_seconds_sum %g\n", float64(h.sumNs.Load())/1e9)
+	w("alignd_solve_duration_seconds_count %d\n", h.count.Load())
+
+	p50, p99, p999 := h.Quantiles()
+	w("# HELP alignd_solve_latency_seconds Interpolated solve-latency quantiles from the histogram above.\n")
+	w("# TYPE alignd_solve_latency_seconds summary\n")
+	w("alignd_solve_latency_seconds{quantile=\"0.5\"} %g\n", p50)
+	w("alignd_solve_latency_seconds{quantile=\"0.99\"} %g\n", p99)
+	w("alignd_solve_latency_seconds{quantile=\"0.999\"} %g\n", p999)
+	w("alignd_solve_latency_seconds_sum %g\n", float64(h.sumNs.Load())/1e9)
+	w("alignd_solve_latency_seconds_count %d\n", h.count.Load())
+
+	st := s.sched.Stats()
+	w("# HELP alignd_queue_depth Admitted program slots blocked waiting for a scheduler worker.\n")
+	w("# TYPE alignd_queue_depth gauge\n")
+	w("alignd_queue_depth %d\n", st.Waiting)
+	w("# HELP alignd_inflight_leases Scheduler workers currently leased to running solves.\n")
+	w("# TYPE alignd_inflight_leases gauge\n")
+	w("alignd_inflight_leases %d\n", st.Leased)
+	w("# HELP alignd_worker_budget Total scheduler worker budget.\n")
+	w("# TYPE alignd_worker_budget gauge\n")
+	w("alignd_worker_budget %d\n", st.Budget)
+	w("# HELP alignd_inflight_requests HTTP requests currently being served.\n")
+	w("# TYPE alignd_inflight_requests gauge\n")
+	w("alignd_inflight_requests %d\n", s.metrics.inflightRequests.Load())
+
+	hits, misses := s.cache.Counters()
+	computes, shared := s.cache.FlightStats()
+	w("# HELP alignd_cache_hits_total Pipeline cache hits.\n# TYPE alignd_cache_hits_total counter\n")
+	w("alignd_cache_hits_total %d\n", hits)
+	w("# HELP alignd_cache_misses_total Pipeline cache misses (singleflight leaders).\n# TYPE alignd_cache_misses_total counter\n")
+	w("alignd_cache_misses_total %d\n", misses)
+	w("# HELP alignd_cache_shared_total Callers served by another caller's in-flight solve.\n# TYPE alignd_cache_shared_total counter\n")
+	w("alignd_cache_shared_total %d\n", shared)
+	w("# HELP alignd_cache_computes_total Pipeline executions admitted by the cache.\n# TYPE alignd_cache_computes_total counter\n")
+	w("alignd_cache_computes_total %d\n", computes)
+	w("# HELP alignd_cache_contention_total Cache shard-lock acquisitions that had to wait.\n# TYPE alignd_cache_contention_total counter\n")
+	w("alignd_cache_contention_total %d\n", s.cache.Contention())
+
+	tenants := s.quota.Stats()
+	w("# HELP alignd_tenant_throttled_total Requests rejected by per-tenant quota (HTTP 429).\n")
+	w("# TYPE alignd_tenant_throttled_total counter\n")
+	for _, t := range tenants {
+		w("alignd_tenant_throttled_total{tenant=%q} %d\n", t.Tenant, t.Throttled)
+	}
+	w("# HELP alignd_tenant_inuse_slots Program slots currently held, per tenant.\n")
+	w("# TYPE alignd_tenant_inuse_slots gauge\n")
+	for _, t := range tenants {
+		w("alignd_tenant_inuse_slots{tenant=%q} %d\n", t.Tenant, t.InUse)
+	}
+
+	w("# HELP alignd_draining Whether the daemon is draining (1) or serving (0).\n")
+	w("# TYPE alignd_draining gauge\n")
+	if s.draining.Load() {
+		w("alignd_draining 1\n")
+	} else {
+		w("alignd_draining 0\n")
+	}
+	w("# HELP alignd_uptime_seconds Seconds since the daemon started.\n")
+	w("# TYPE alignd_uptime_seconds gauge\n")
+	w("alignd_uptime_seconds %g\n", time.Since(s.metrics.start).Seconds())
+	return b.String()
+}
+
+// formatBound renders a bucket bound the way Prometheus clients expect
+// (no exponent notation for these magnitudes).
+func formatBound(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.4f", v), "0"), ".")
+}

@@ -36,6 +36,15 @@ go test -race -run Differential ./internal/align/ ./internal/lp/
 echo "== go test -race (robustness: cancellation, panic isolation, budgets)"
 go test -race -run 'Cancel|Panic|Budget' ./...
 
+echo "== go test -race (serving: alignd daemon, quotas, drain; alignc exit codes)"
+# The cmd tests build their child binaries with -race to match, so this
+# covers the whole SIGTERM drain path under the detector: HTTP solve,
+# streaming batch, quota 429s, drain 503s, and clean exits.
+go test -race ./internal/service/ ./cmd/alignd/ ./cmd/alignc/
+
+echo "== loadtest smoke (in-process daemon, concurrent clients, leak check)"
+go run ./cmd/alignd/loadtest -self -clients 200 -requests 4 -corpus 16
+
 echo "== fuzz smoke (lexer/parser, 10s)"
 go test -run='^$' -fuzz=FuzzLexer -fuzztime=10s ./internal/lang
 
