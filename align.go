@@ -78,6 +78,16 @@ type Options struct {
 	// computed alignment is the same either way on non-degenerate
 	// programs.
 	NoPresolve bool
+	// NoSourceMemo disables the source-keyed memo tier in front of the
+	// pipeline (see DESIGN.md): with a Cache configured, AlignSource
+	// memoizes completed results keyed by the normalized token stream
+	// of the source plus the result-affecting options, so re-aligning
+	// an unchanged (or merely reformatted) program costs one hash and
+	// skips lex, parse, sema, ADG build, and canonical hashing
+	// entirely. The computed result is byte-identical with the memo on
+	// or off (the toggle is therefore not part of any cache key); the
+	// switch exists for baseline measurement and differential testing.
+	NoSourceMemo bool
 }
 
 // Cache is a bounded content-addressed memo of pipeline results; see
@@ -103,6 +113,15 @@ type Result struct {
 	// Cost is the exact realignment cost breakdown of the chosen
 	// alignment under the §2.3 model.
 	Cost cost.Breakdown
+	// Frontend records per-phase front-end wall time (lex, parse, sema,
+	// ADG build, source-key hashing); for a memo hit every phase but
+	// Key is zero — nothing else ran.
+	Frontend FrontendTimes
+	// MemoHit reports that this result was served by the source-keyed
+	// memo tier: the entire front end and pipeline were skipped, and
+	// the nested Align result is the original leader's (its CacheHit
+	// reflects that solve, not this lookup).
+	MemoHit bool
 }
 
 // AlignSource parses, analyzes, builds the ADG, and aligns a program.
@@ -115,11 +134,7 @@ func AlignSource(src string, opts Options) (*Result, error) {
 // refinement rounds) and a canceled or expired context aborts the
 // solve with an error wrapping ctx.Err() — never a partial result.
 func AlignSourceContext(ctx context.Context, src string, opts Options) (*Result, error) {
-	prog, err := lang.Parse(src)
-	if err != nil {
-		return nil, fmt.Errorf("parse: %w", err)
-	}
-	return AlignProgramContext(ctx, prog, opts)
+	return alignSourceLeased(ctx, nil, src, opts.alignOptions(), 0)
 }
 
 // AlignProgram aligns an already-parsed program.
@@ -167,6 +182,7 @@ func (o Options) alignOptions() align.Options {
 		Replication:       o.Replication,
 		ReplicationRounds: o.ReplicationRounds,
 		Cache:             o.Cache,
+		NoSourceMemo:      o.NoSourceMemo,
 		Partition:         o.Partition,
 		MaxLPIter:         o.MaxLPIter,
 	}
@@ -245,7 +261,7 @@ func AlignBatchContext(ctx context.Context, srcs []string, opts Options, bopts B
 				slotCtx, cancel = context.WithTimeout(ctx, bopts.SolveTimeout)
 				defer cancel()
 			}
-			return alignLeased(slotCtx, sched, srcs[i], aopts, lease)
+			return alignSourceLeased(slotCtx, sched, srcs[i], aopts, lease)
 		})
 	})
 	// Slots the scheduler never dispatched (cancellation arrived first)
@@ -264,31 +280,6 @@ func AlignBatchContext(ctx context.Context, srcs []string, opts Options, bopts B
 // per-slot recover boundary; see AlignBatchContext.
 type PanicError = align.PanicError
 
-// alignLeased is the per-program body of AlignBatch: the full
-// source-to-cost pipeline with solver parallelism bounded by the
-// scheduler's lease.
-func alignLeased(ctx context.Context, sched *align.Scheduler, src string, aopts align.Options, lease int) (*Result, error) {
-	prog, err := lang.Parse(src)
-	if err != nil {
-		return nil, fmt.Errorf("parse: %w", err)
-	}
-	info, err := lang.Analyze(prog)
-	if err != nil {
-		return nil, fmt.Errorf("analyze: %w", err)
-	}
-	g, err := build.Build(info)
-	if err != nil {
-		return nil, fmt.Errorf("build ADG: %w", err)
-	}
-	ar, err := sched.AlignLeasedContext(ctx, g, aopts, lease)
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{Program: prog, Info: info, Graph: g, Align: ar}
-	res.Cost = cost.Exact(g, ar.Assignment)
-	return res, nil
-}
-
 // Assignment returns the consolidated per-port alignment.
 func (r *Result) Assignment() *adg.Assignment { return r.Align.Assignment }
 
@@ -304,6 +295,9 @@ func (r *Result) Report() string {
 		dp.Starts, dp.Labels, dp.Configs, dp.Sweeps, dp.Moves, dp.Evals, dp.ExpansionAccepts)
 	if r.Align.CacheHit {
 		b.WriteString("pipeline cache: hit (solvers skipped)\n")
+	}
+	if r.MemoHit {
+		b.WriteString("source memo: hit (front end skipped)\n")
 	}
 	if r.Align.Regions > 1 {
 		// The count is a structural property of the program (identical
@@ -327,6 +321,11 @@ func (r *Result) Report() string {
 	fmt.Fprintf(&b, "phase times: axis/stride %s, replication %s, offsets %s\n",
 		t.AxisStride.Round(time.Microsecond), t.Replication.Round(time.Microsecond),
 		t.Offsets.Round(time.Microsecond))
+	fe := r.Frontend
+	fmt.Fprintf(&b, "front-end times: lex %s, parse %s, sema %s, build %s, key %s\n",
+		fe.Lex.Round(time.Microsecond), fe.Parse.Round(time.Microsecond),
+		fe.Sema.Round(time.Microsecond), fe.Build.Round(time.Microsecond),
+		fe.Key.Round(time.Microsecond))
 	fmt.Fprintf(&b, "exact cost: %s\n", r.Cost)
 	b.WriteString("alignments:\n")
 	b.WriteString(r.Align.Assignment.String())

@@ -8,7 +8,7 @@
 // Usage:
 //
 //	alignc [-strategy fixed|unroll|search|zerotrack|recursive] [-m N]
-//	       [-par N] [-cache] [-partition] [-presolve=false] [-norepl] [-static] [-dot] [-sim]
+//	       [-par N] [-cache] [-nomemo] [-partition] [-presolve=false] [-norepl] [-static] [-dot] [-sim]
 //	       [-grid PxQ] [-timeout D] [-cpuprofile F] [-memprofile F] file.dp
 //	alignc -batch 'progs/*.dp' [-workers N] [-timeout D] [-deadline D] [...]
 //	alignc -editstream N [-partition] [-par N]
@@ -67,6 +67,7 @@ func run() int {
 	norepl := flag.Bool("norepl", false, "disable replication labeling")
 	par := flag.Int("par", 0, "solver parallelism: offset-LP axes and DP multi-starts (0 = GOMAXPROCS, 1 = sequential)")
 	useCache := flag.Bool("cache", false, "enable the pipeline result cache and re-align once to demonstrate a hit")
+	nomemo := flag.Bool("nomemo", false, "disable the source-keyed memo tier in front of the pipeline (cache misses then still lex, parse, and hash)")
 	dot := flag.Bool("dot", false, "print the ADG in Graphviz DOT format and exit")
 	sim := flag.Bool("sim", false, "simulate the aligned program on a distributed-memory machine")
 	grid := flag.String("grid", "4x4", "processor grid for -sim, e.g. 8x8")
@@ -120,7 +121,7 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "alignc: no input file; compiling the paper's Figure 1 fragment")
 	}
 
-	opts := repro.Options{Subranges: *m, Replication: !*norepl, Parallelism: *par, Partition: *partition, NoPresolve: !*presolve}
+	opts := repro.Options{Subranges: *m, Replication: !*norepl, Parallelism: *par, Partition: *partition, NoPresolve: !*presolve, NoSourceMemo: *nomemo}
 	switch *strategy {
 	case "fixed":
 		opts.Strategy = align.StrategyFixed
@@ -166,16 +167,18 @@ func run() int {
 		fatal(err)
 	}
 	if *useCache {
-		// Compile the unchanged program again: the pipeline is served from
-		// the cache, which the report of the second result records.
+		// Compile the unchanged program again: the repeat is served from
+		// the source memo tier (or, with -nomemo, from the pipeline
+		// cache), which the report of the second result records.
 		t0 := time.Now()
 		res, err = repro.AlignSourceContext(ctx, src, opts)
 		if err != nil {
 			fatal(err)
 		}
 		hits, misses := opts.Cache.Counters()
-		fmt.Fprintf(os.Stderr, "alignc: cached re-alignment in %s (%d hits / %d misses)\n",
-			time.Since(t0).Round(time.Microsecond), hits, misses)
+		mHits, _, _, _ := opts.Cache.SourceCounters()
+		fmt.Fprintf(os.Stderr, "alignc: cached re-alignment in %s (%d memo hits, %d pipeline hits / %d misses)\n",
+			time.Since(t0).Round(time.Microsecond), mHits, hits, misses)
 	}
 	if *dot {
 		fmt.Print(res.Graph.Dot())
@@ -315,7 +318,9 @@ func runBatch(ctx context.Context, glob string, opts repro.Options, workers int,
 			continue
 		}
 		tag := ""
-		if br.Result.Align.CacheHit {
+		if br.Result.MemoHit {
+			tag = "  [memo hit]"
+		} else if br.Result.Align.CacheHit {
 			tag = "  [cache hit]"
 		}
 		fmt.Printf("%-30s exact cost %s%s\n", files[i], br.Result.Cost, tag)
@@ -325,8 +330,10 @@ func runBatch(ctx context.Context, glob string, opts repro.Options, workers int,
 	fmt.Printf("batch: %d programs (%d failed) in %s — %.1f programs/sec\n",
 		len(srcs), failed, elapsed.Round(time.Microsecond),
 		float64(len(srcs))/elapsed.Seconds())
+	mHits, mMisses, mShared, _ := opts.Cache.SourceCounters()
 	fmt.Printf("cache: %d pipeline executions, %d singleflight-shared, %d hits / %d misses, shard contention %d\n",
 		computes, shared, hits, misses, opts.Cache.Contention())
+	fmt.Printf("source memo: %d hits, %d shared, %d front-end runs\n", mHits, mShared, mMisses)
 	if err := ctx.Err(); err != nil {
 		reason := "canceled"
 		if errors.Is(err, context.DeadlineExceeded) {

@@ -1,4 +1,4 @@
-// Command benchreport runs the experiment suite (the E1–E18 table of
+// Command benchreport runs the experiment suite (the E1–E19 table of
 // DESIGN.md) directly — without the testing harness — and prints the
 // paper-vs-measured comparison rows recorded in EXPERIMENTS.md. Alongside
 // the text report it writes a machine-readable perf snapshot (phase
@@ -18,6 +18,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"testing"
 	"time"
 
 	"repro"
@@ -51,6 +52,7 @@ func main() {
 	snap.Incremental = e16()
 	snap.Presolve = e17()
 	snap.Service = e18()
+	snap.Frontend = e19()
 	if *jsonPath != "" {
 		writeSnapshot(*jsonPath, snap)
 	}
@@ -257,8 +259,12 @@ enddo
 // v7 — the E18 service rows (alignd load test: 1000 concurrent clients
 // over the mixed corpus through the in-process daemon — p50/p99/p999
 // request latency, throughput, status mix, and the post-drain leak
-// check).
-const schemaVersion = 7
+// check);
+// v8 — the E19 front-end row (per-phase lex/parse/sema/build/key wall
+// time of a cold solve, the source-memo hit path versus the memo-off
+// parse-and-hash warm path, hit-path allocs/op, and the memo tier's
+// hit/miss/compute counters).
+const schemaVersion = 8
 
 // Snapshot is the machine-readable record benchreport writes alongside
 // the text report, so the perf trajectory (phase times, DP and LP effort,
@@ -275,6 +281,34 @@ type Snapshot struct {
 	Incremental   IncrementalSnapshot    `json:"incremental"`
 	Presolve      []PresolveSnapshot     `json:"presolve"`
 	Service       []ServiceSnapshot      `json:"service"`
+	Frontend      FrontendSnapshot       `json:"frontend"`
+}
+
+// FrontendSnapshot is the E19 row: the front end and the source-keyed
+// memo tier on the rank4-dp workload. The phase times are one cold
+// solve's lex/parse/sema/ADG-build/key-hash breakdown; WarmNoMemoNs is
+// the warm repeat with the memo disabled (full front end plus
+// canonical hashing into a pipeline-cache hit), HitNs the same repeat
+// served by the memo tier (one token-stream hash, then a map probe),
+// and HitSpeedup their ratio — the ≥5× version of this gate lives in
+// BenchmarkHitPath. HitAllocs is the allocation count of one memo hit
+// (gated ≤ 8 in TestHitPathZeroAlloc); the counters record the memo
+// tier's accounting over the whole measurement.
+type FrontendSnapshot struct {
+	Name         string  `json:"name"`
+	LexNs        int64   `json:"lex_ns"`
+	ParseNs      int64   `json:"parse_ns"`
+	SemaNs       int64   `json:"sema_ns"`
+	BuildNs      int64   `json:"build_ns"`
+	KeyNs        int64   `json:"key_ns"`
+	ColdNs       int64   `json:"cold_ns"`
+	WarmNoMemoNs int64   `json:"warm_nomemo_ns"`
+	HitNs        int64   `json:"hit_ns"`
+	HitSpeedup   float64 `json:"hit_speedup"`
+	HitAllocs    float64 `json:"hit_allocs_per_op"`
+	MemoHits     int64   `json:"memo_hits"`
+	MemoMisses   int64   `json:"memo_misses"`
+	MemoComputes int64   `json:"memo_computes"`
 }
 
 // ServiceSnapshot is one E18 row: an alignd load run — N concurrent
@@ -449,6 +483,10 @@ func e12() Snapshot {
 	cache := repro.NewCache(0)
 	opts := repro.DefaultOptions()
 	opts.Cache = cache
+	// E12's cache row measures the pipeline tier (SHA-256 of the
+	// canonical ADG + rehydration); the source memo would answer the
+	// repeats before it. E19 measures that tier.
+	opts.NoSourceMemo = true
 	var lastCold time.Duration
 	for _, w := range workloads {
 		g := build.MustBuild(lang.MustAnalyze(lang.MustParse(w.src)))
@@ -798,6 +836,9 @@ func e16() IncrementalSnapshot {
 	opts := repro.DefaultOptions()
 	opts.Partition = true
 	opts.Cache = repro.NewCache(1024)
+	// E16 measures the pipeline and region tiers; the source memo would
+	// answer the unchanged repeat first (that path is E19's row).
+	opts.NoSourceMemo = true
 	base := incrementalSrc(comps, -1, 0)
 	var cold *repro.Result
 	coldT := timeIt(func() { cold = compile(base, opts) })
@@ -1043,6 +1084,68 @@ func e18() []ServiceSnapshot {
 			pct(0.50).Round(time.Microsecond), pct(0.99).Round(time.Microsecond),
 			pct(0.999).Round(time.Microsecond), snap.ThroughputRPS))
 	return []ServiceSnapshot{snap}
+}
+
+// e19 measures the front-end fast path: the per-phase breakdown of a
+// cold solve (pooled lexer, arena parser and ADG build), then the warm
+// repeat two ways — with the memo disabled, the full front end runs
+// into a pipeline-cache hit (parse-and-hash); with it enabled, the
+// source-keyed tier answers for the cost of one token-stream hash. The
+// ≥5× hit gate lives in BenchmarkHitPath and the ≤8 allocs/op gate in
+// TestHitPathZeroAlloc; this records the measured values in
+// BENCH_align.json. Returns the E19 snapshot row.
+func e19() FrontendSnapshot {
+	opts := repro.DefaultOptions()
+	opts.Cache = repro.NewCache(0)
+	var cold *repro.Result
+	coldT := timeIt(func() { cold = compile(dpSrc, opts) })
+	fe := cold.Frontend
+
+	const reps = 64
+	warmest := func(o repro.Options) time.Duration {
+		compile(dpSrc, o) // ensure warm
+		best := time.Duration(1<<62 - 1)
+		for i := 0; i < 5; i++ {
+			t := timeIt(func() {
+				for r := 0; r < reps; r++ {
+					compile(dpSrc, o)
+				}
+			})
+			if t < best {
+				best = t
+			}
+		}
+		return best / reps
+	}
+	nomemo := opts
+	nomemo.NoSourceMemo = true
+	warmT := warmest(nomemo)
+	hitT := warmest(opts)
+	hit := compile(dpSrc, opts)
+	if !hit.MemoHit {
+		fail(fmt.Errorf("E19: warm repeat was not served by the source memo tier"))
+	}
+	allocs := testing.AllocsPerRun(100, func() { compile(dpSrc, opts) })
+	hits, misses, _, computes := opts.Cache.SourceCounters()
+
+	snap := FrontendSnapshot{
+		Name:  "rank4-dp",
+		LexNs: int64(fe.Lex), ParseNs: int64(fe.Parse), SemaNs: int64(fe.Sema),
+		BuildNs: int64(fe.Build), KeyNs: int64(fe.Key), ColdNs: int64(coldT),
+		WarmNoMemoNs: int64(warmT), HitNs: int64(hitT),
+		HitSpeedup: float64(warmT) / float64(hitT), HitAllocs: allocs,
+		MemoHits: hits, MemoMisses: misses, MemoComputes: computes,
+	}
+	row("E19/perf", "rank4-dp front end, cold", "lex+parse+sema+build+key",
+		fmt.Sprintf("lex %v, parse %v, sema %v, build %v, key %v",
+			fe.Lex.Round(time.Microsecond), fe.Parse.Round(time.Microsecond),
+			fe.Sema.Round(time.Microsecond), fe.Build.Round(time.Microsecond),
+			fe.Key.Round(time.Microsecond)))
+	row("E19/perf", "warm repeat, memo off", "full front end + hash",
+		warmT.Round(time.Microsecond))
+	row("E19/perf", "warm repeat, memo hit", "≥5x vs parse-and-hash, ≤8 allocs",
+		fmt.Sprintf("%v (%.1fx, %.0f allocs)", hitT.Round(time.Microsecond), snap.HitSpeedup, allocs))
+	return snap
 }
 
 func timeIt(f func()) time.Duration {

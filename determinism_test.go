@@ -98,14 +98,16 @@ func TestParallelismDeterminism(t *testing.T) {
 }
 
 // normalizeReport strips the wall-time content from a Report: the
-// "phase times:" line and the phase1/phase2 durations of the LP effort
-// line. Everything else — alignments, costs, DP and LP effort counters —
-// must be byte-identical across parallelism levels.
+// "phase times:" and "front-end times:" lines and the phase1/phase2
+// durations of the LP effort line. Everything else — alignments, costs,
+// DP and LP effort counters — must be byte-identical across parallelism
+// levels.
 func normalizeReport(s string) string {
 	lines := strings.Split(s, "\n")
 	out := lines[:0]
 	for _, line := range lines {
-		if strings.HasPrefix(line, "phase times:") {
+		if strings.HasPrefix(line, "phase times:") ||
+			strings.HasPrefix(line, "front-end times:") {
 			continue
 		}
 		if strings.HasPrefix(line, "LP effort:") {
@@ -119,14 +121,16 @@ func normalizeReport(s string) string {
 }
 
 // normalizeBatchReport additionally strips the "pipeline cache: hit"
-// line: in a batch with duplicate inputs, which copy is the singleflight
-// leader (CacheHit=false) and which are followers (true) is a scheduling
-// accident — everything else must still be byte-identical.
+// and "source memo: hit" lines: in a batch with duplicate inputs, which
+// copy is the singleflight leader (no hit line) and which are followers
+// (hit) is a scheduling accident — everything else must still be
+// byte-identical.
 func normalizeBatchReport(s string) string {
 	lines := strings.Split(normalizeReport(s), "\n")
 	out := lines[:0]
 	for _, line := range lines {
-		if strings.HasPrefix(line, "pipeline cache:") {
+		if strings.HasPrefix(line, "pipeline cache:") ||
+			strings.HasPrefix(line, "source memo:") {
 			continue
 		}
 		out = append(out, line)
@@ -222,7 +226,8 @@ func normalizeEffortReport(s string) string {
 	for _, line := range lines {
 		if strings.HasPrefix(line, "LP effort:") ||
 			strings.HasPrefix(line, "LP presolve:") ||
-			strings.HasPrefix(line, "pipeline cache:") {
+			strings.HasPrefix(line, "pipeline cache:") ||
+			strings.HasPrefix(line, "source memo:") {
 			continue
 		}
 		out = append(out, line)

@@ -1,0 +1,99 @@
+package repro
+
+import (
+	"testing"
+)
+
+// TestHitPathZeroAlloc gates the allocation budget of the source-memo
+// hit path: once a program's result is memoized, re-aligning the same
+// source must cost at most 8 allocations — the shallow Result copy,
+// the pooled hash state, and nothing proportional to the program
+// (measured: 2 allocs/op; the headroom absorbs runtime and pool
+// jitter, not regressions). Skipped under the race detector, whose
+// instrumentation allocates and would invalidate the gate.
+func TestHitPathZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates, invalidating AllocsPerRun")
+	}
+	opts := DefaultOptions()
+	opts.Cache = NewCache(0)
+	if _, err := AlignSource(axisHeavySrc, opts); err != nil {
+		t.Fatal(err)
+	}
+	var (
+		res *Result
+		err error
+	)
+	allocs := testing.AllocsPerRun(100, func() {
+		res, err = AlignSource(axisHeavySrc, opts)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.MemoHit {
+		t.Fatal("warm repeat was not served by the source memo tier")
+	}
+	if allocs > 8 {
+		t.Errorf("source-memo hit path: %.0f allocs/op, want <= 8", allocs)
+	}
+}
+
+// TestMemoDeterminism pins the memo tier's output contract: the memo
+// toggle (Options.NoSourceMemo) crossed with Parallelism 1/2/8 yields
+// byte-identical normalized reports for both the cold solve and the
+// warm repeat — which is exactly why the toggle is not part of any
+// cache key (see cacheKey in internal/align/cache.go: the memo only
+// ever returns what the full pipeline would have computed, so keying
+// on it would split the cache for no semantic difference). The warm
+// repeat must hit the memo tier when it is on and the pipeline cache
+// when it is off.
+func TestMemoDeterminism(t *testing.T) {
+	for name, src := range determinismSources {
+		t.Run(name, func(t *testing.T) {
+			var wantCold, wantWarm string
+			for _, nomemo := range []bool{false, true} {
+				for _, par := range []int{1, 2, 8} {
+					opts := DefaultOptions()
+					opts.Cache = NewCache(4)
+					opts.NoSourceMemo = nomemo
+					opts.Parallelism = par
+					cold, err := AlignSource(src, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if cold.MemoHit {
+						t.Errorf("memo=%v par=%d: cold solve reported a memo hit", !nomemo, par)
+					}
+					warm, err := AlignSource(src, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if nomemo {
+						if warm.MemoHit {
+							t.Errorf("par=%d: memo tier answered despite NoSourceMemo", par)
+						}
+						if !warm.Align.CacheHit {
+							t.Errorf("par=%d: memo off, warm repeat missed the pipeline cache", par)
+						}
+					} else if !warm.MemoHit {
+						t.Errorf("par=%d: memo on, warm repeat was not a memo hit", par)
+					}
+					gotCold := normalizeBatchReport(cold.Report())
+					gotWarm := normalizeBatchReport(warm.Report())
+					if wantCold == "" {
+						wantCold, wantWarm = gotCold, gotWarm
+						continue
+					}
+					if gotCold != wantCold {
+						t.Errorf("memo=%v par=%d: cold report differs from baseline:\n--- baseline\n%s\n--- got\n%s",
+							!nomemo, par, wantCold, gotCold)
+					}
+					if gotWarm != wantWarm {
+						t.Errorf("memo=%v par=%d: warm report differs from baseline:\n--- baseline\n%s\n--- got\n%s",
+							!nomemo, par, wantWarm, gotWarm)
+					}
+				}
+			}
+		})
+	}
+}

@@ -281,23 +281,87 @@ type Graph struct {
 	// TemplateRank is the dimensionality of the single template all
 	// objects align to.
 	TemplateRank int
+
+	arena graphArena
 }
 
 // New returns an empty graph.
 func New() *Graph { return &Graph{} }
 
+// graphArena chunk-allocates the graph's nodes, ports, edges, and the
+// backing storage of the per-node In/Out port lists: one allocation per
+// chunk instead of one per object, which is most of what ADG
+// construction allocates. Chunks are never reallocated or reused — the
+// graph owns them for its lifetime — so every returned pointer is
+// stable.
+type graphArena struct {
+	nodes []Node
+	ports []Port
+	edges []Edge
+	refs  []*Port
+}
+
+const arenaChunk = 64
+
+func (a *graphArena) node() *Node {
+	if len(a.nodes) == cap(a.nodes) {
+		a.nodes = make([]Node, 0, arenaChunk)
+	}
+	a.nodes = a.nodes[:len(a.nodes)+1]
+	return &a.nodes[len(a.nodes)-1]
+}
+
+func (a *graphArena) port() *Port {
+	if len(a.ports) == cap(a.ports) {
+		a.ports = make([]Port, 0, arenaChunk)
+	}
+	a.ports = a.ports[:len(a.ports)+1]
+	return &a.ports[len(a.ports)-1]
+}
+
+func (a *graphArena) edge() *Edge {
+	if len(a.edges) == cap(a.edges) {
+		a.edges = make([]Edge, 0, arenaChunk)
+	}
+	a.edges = a.edges[:len(a.edges)+1]
+	return &a.edges[len(a.edges)-1]
+}
+
+// refSlice carves an empty port-pointer slice with capacity n (full
+// slice expression: appends fill it in place, never past it).
+func (a *graphArena) refSlice(n int) []*Port {
+	if n == 0 {
+		return nil
+	}
+	if cap(a.refs)-len(a.refs) < n {
+		c := 4 * arenaChunk
+		if n > c {
+			c = n
+		}
+		a.refs = make([]*Port, 0, c)
+	}
+	start := len(a.refs)
+	a.refs = a.refs[:start+n]
+	return a.refs[start : start : start+n]
+}
+
 // AddNode creates a node of the given kind with the given numbers of
 // input and output ports. Port ranks/extents/spaces are filled by the
 // caller.
 func (g *Graph) AddNode(kind Kind, label string, nIn, nOut int) *Node {
-	n := &Node{ID: len(g.Nodes), Kind: kind, Label: label}
+	n := g.arena.node()
+	n.ID, n.Kind, n.Label = len(g.Nodes), kind, label
+	n.In = g.arena.refSlice(nIn)
 	for i := 0; i < nIn; i++ {
-		p := &Port{ID: len(g.Ports), Node: n, Index: i}
+		p := g.arena.port()
+		p.ID, p.Node, p.Index = len(g.Ports), n, i
 		g.Ports = append(g.Ports, p)
 		n.In = append(n.In, p)
 	}
+	n.Out = g.arena.refSlice(nOut)
 	for i := 0; i < nOut; i++ {
-		p := &Port{ID: len(g.Ports), Node: n, Index: i, Output: true}
+		p := g.arena.port()
+		p.ID, p.Node, p.Index, p.Output = len(g.Ports), n, i, true
 		g.Ports = append(g.Ports, p)
 		n.Out = append(n.Out, p)
 	}
@@ -314,7 +378,8 @@ func (g *Graph) Connect(src, dst *Port) *Edge {
 	if src.Edge != nil || dst.Edge != nil {
 		panic("adg: port already connected")
 	}
-	e := &Edge{ID: len(g.Edges), Src: src, Dst: dst, Control: 1}
+	e := g.arena.edge()
+	e.ID, e.Src, e.Dst, e.Control = len(g.Edges), src, dst, 1
 	src.Edge, dst.Edge = e, e
 	g.Edges = append(g.Edges, e)
 	return e

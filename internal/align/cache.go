@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"hash"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -59,6 +60,10 @@ type Cache struct {
 	flights  map[string]*flightCall
 	computes atomic.Int64 // pipeline executions (singleflight leaders)
 	shared   atomic.Int64 // waiters served by another caller's execution
+
+	// src is the source-keyed memo tier layered in front of the whole
+	// pipeline by AlignSource-style front ends; see srcmemo.go.
+	src srcState
 }
 
 // cacheShards is the number of LRU shards (a power of two, indexed by
@@ -110,6 +115,7 @@ func NewCache(capacity int) *Cache {
 		c.shards[i].order = list.New()
 		c.shards[i].entries = make(map[string]*list.Element)
 	}
+	c.initSource()
 	return c
 }
 
@@ -358,6 +364,91 @@ func (c *Cache) do(ctx context.Context, key string, compute func() (*Result, err
 	return call.res, true, call.err
 }
 
+// keyWriter is a pooled incremental hasher: serialization bytes are
+// appended to a reusable buffer with strconv (no fmt boxing) and fed to
+// the SHA-256 block function whenever the buffer fills, so keying a
+// graph hashes while it walks instead of materializing the canonical
+// byte slice. The only steady-state allocation of a key computation is
+// the returned hex string.
+type keyWriter struct {
+	h   hash.Hash
+	buf []byte
+	sum [sha256.Size]byte
+}
+
+var keyWriterPool = sync.Pool{
+	New: func() any {
+		return &keyWriter{h: sha256.New(), buf: make([]byte, 0, 1024)}
+	},
+}
+
+// flush feeds the buffered bytes to the hash once the buffer is near
+// capacity (keeping writes block-sized) — call sites append at most a
+// few dozen bytes between checks.
+func (w *keyWriter) flushIfFull() {
+	if len(w.buf) >= cap(w.buf)-64 {
+		w.h.Write(w.buf)
+		w.buf = w.buf[:0]
+	}
+}
+
+func (w *keyWriter) str(s string) {
+	// Length-prefixed so adjacent strings cannot alias each other's
+	// serialization ("ab","c" vs "a","bc").
+	w.buf = strconv.AppendInt(w.buf, int64(len(s)), 10)
+	w.buf = append(w.buf, ':')
+	if len(s) > cap(w.buf)-len(w.buf) {
+		w.h.Write(w.buf)
+		w.buf = w.buf[:0]
+		w.h.Write([]byte(s))
+		return
+	}
+	w.buf = append(w.buf, s...)
+}
+
+func (w *keyWriter) int(v int64) {
+	w.buf = strconv.AppendInt(w.buf, v, 10)
+	w.buf = append(w.buf, ';')
+	w.flushIfFull()
+}
+
+func (w *keyWriter) boolean(v bool) {
+	if v {
+		w.buf = append(w.buf, "1;"...)
+	} else {
+		w.buf = append(w.buf, "0;"...)
+	}
+	w.flushIfFull()
+}
+
+func (w *keyWriter) float(v float64) {
+	w.buf = strconv.AppendFloat(w.buf, v, 'g', -1, 64)
+	w.buf = append(w.buf, ';')
+	w.flushIfFull()
+}
+
+func (w *keyWriter) affine(a expr.Affine) {
+	w.buf = append(w.buf, 'a')
+	w.buf = strconv.AppendInt(w.buf, a.ConstPart(), 10)
+	a.EachTerm(func(t expr.Term) bool {
+		w.buf = append(w.buf, '+')
+		w.buf = strconv.AppendInt(w.buf, t.Coef, 10)
+		w.buf = append(w.buf, t.Var...)
+		return true
+	})
+	w.buf = append(w.buf, ';')
+	w.flushIfFull()
+}
+
+// hexSum finishes the hash and returns the lowercase hex digest.
+func (w *keyWriter) hexSum() string {
+	if len(w.buf) > 0 {
+		w.h.Write(w.buf)
+		w.buf = w.buf[:0]
+	}
+	return hex.EncodeToString(w.h.Sum(w.sum[:0]))
+}
+
 // cacheKey derives the content address of one alignment problem: a
 // SHA-256 over a canonical serialization of the graph (template rank;
 // every node's kind, label, and kind-specific payload; every port's
@@ -366,44 +457,66 @@ func (c *Cache) do(ctx context.Context, key string, compute func() (*Result, err
 // are dense construction-order indices, so structurally identical graphs
 // serialize identically.
 func cacheKey(g *adg.Graph, opts Options) string {
-	h := sha256.New()
-	fmt.Fprintf(h, "v1|tr%d|", g.TemplateRank)
+	w := keyWriterPool.Get().(*keyWriter)
+	w.h.Reset()
+	w.buf = w.buf[:0]
+	w.buf = append(w.buf, "v2|tr"...)
+	w.int(int64(g.TemplateRank))
 	for _, n := range g.Nodes {
-		fmt.Fprintf(h, "n%d;%d;%q;%d;%d;", n.ID, n.Kind, n.Label, len(n.In), len(n.Out))
+		w.buf = append(w.buf, 'n')
+		w.int(int64(n.ID))
+		w.int(int64(n.Kind))
+		w.str(n.Label)
+		w.int(int64(len(n.In)))
+		w.int(int64(len(n.Out)))
 		if n.Section != nil {
 			for _, s := range n.Section.Subs {
-				fmt.Fprintf(h, "s%v;%v;", s.IsRange, s.IsVector)
-				hashAffine(h, s.Lo)
-				hashAffine(h, s.Hi)
-				hashAffine(h, s.Step)
-				hashAffine(h, s.Index)
+				w.buf = append(w.buf, 's')
+				w.boolean(s.IsRange)
+				w.boolean(s.IsVector)
+				w.affine(s.Lo)
+				w.affine(s.Hi)
+				w.affine(s.Step)
+				w.affine(s.Index)
 			}
 		}
-		fmt.Fprintf(h, "sp%d;", n.SpreadDim)
-		hashAffine(h, n.SpreadCopies)
-		fmt.Fprintf(h, "rd%d;ro%v;cm%v;", n.ReduceDim, n.ReadOnly, n.CondMerge)
+		w.buf = append(w.buf, "sp"...)
+		w.int(int64(n.SpreadDim))
+		w.affine(n.SpreadCopies)
+		w.buf = append(w.buf, "rd"...)
+		w.int(int64(n.ReduceDim))
+		w.boolean(n.ReadOnly)
+		w.boolean(n.CondMerge)
 		if n.Xform != nil {
-			fmt.Fprintf(h, "x%d;%q;", n.Xform.Kind, n.Xform.LIV)
-			hashAffine(h, n.Xform.Lo)
-			hashAffine(h, n.Xform.Hi)
-			hashAffine(h, n.Xform.Step)
+			w.buf = append(w.buf, 'x')
+			w.int(int64(n.Xform.Kind))
+			w.str(n.Xform.LIV)
+			w.affine(n.Xform.Lo)
+			w.affine(n.Xform.Hi)
+			w.affine(n.Xform.Step)
 		}
 	}
 	for _, p := range g.Ports {
-		fmt.Fprintf(h, "p%d;%d;", p.ID, p.Rank)
+		w.buf = append(w.buf, 'p')
+		w.int(int64(p.ID))
+		w.int(int64(p.Rank))
 		for _, e := range p.Extents {
-			hashAffine(h, e)
+			w.affine(e)
 		}
-		fmt.Fprintf(h, "|")
+		w.buf = append(w.buf, '|')
 		for k, liv := range p.Space.LIVs {
-			fmt.Fprintf(h, "%q;", liv)
-			hashAffine(h, p.Space.Lo[k])
-			hashAffine(h, p.Space.Hi[k])
-			hashAffine(h, p.Space.Step[k])
+			w.str(liv)
+			w.affine(p.Space.Lo[k])
+			w.affine(p.Space.Hi[k])
+			w.affine(p.Space.Step[k])
 		}
 	}
 	for _, e := range g.Edges {
-		fmt.Fprintf(h, "e%d;%d;%d;%g;", e.ID, e.Src.ID, e.Dst.ID, e.Control)
+		w.buf = append(w.buf, 'e')
+		w.int(int64(e.ID))
+		w.int(int64(e.Src.ID))
+		w.int(int64(e.Dst.ID))
+		w.float(e.Control)
 	}
 	// Result-affecting options only: parallelism is excluded on purpose
 	// (the computed alignment is identical at every worker count —
@@ -426,22 +539,28 @@ func cacheKey(g *adg.Graph, opts Options) string {
 	// objective but a degenerate RLP can have many optimal vertices,
 	// and the per-block engines may round a different one than the
 	// monolithic simplex.
-	fmt.Fprintf(h, "o|%d;%d;%d;%d;%v;%v;%d;%d;%d;%v;%g;%v;%d;",
-		opts.Offset.Strategy, opts.Offset.M, opts.Offset.MaxRefine,
-		opts.Offset.UnrollCap, opts.Offset.Static,
-		opts.Replication, opts.ReplicationRounds, opts.AxisStride.Restarts,
-		opts.Offset.Engine, opts.Offset.NoNetPath, opts.AxisStride.PruneSlack,
-		opts.Partition, opts.Offset.Presolve)
-	return hex.EncodeToString(h.Sum(nil))
-}
-
-func hashAffine(h hash.Hash, a expr.Affine) {
-	fmt.Fprintf(h, "a%d", a.ConstPart())
-	a.EachTerm(func(t expr.Term) bool {
-		fmt.Fprintf(h, "+%d%s", t.Coef, t.Var)
-		return true
-	})
-	fmt.Fprintf(h, ";")
+	// NoSourceMemo is NOT keyed, here or in the source-tier key: the
+	// memo stores the same completed result the pipeline cache would
+	// return for the same graph and options, so toggling it changes
+	// only which tier answers, never the answer (pinned by the memo
+	// on/off legs of TestMemoDeterminism).
+	w.buf = append(w.buf, "o|"...)
+	w.int(int64(opts.Offset.Strategy))
+	w.int(int64(opts.Offset.M))
+	w.int(int64(opts.Offset.MaxRefine))
+	w.int(int64(opts.Offset.UnrollCap))
+	w.boolean(opts.Offset.Static)
+	w.boolean(opts.Replication)
+	w.int(int64(opts.ReplicationRounds))
+	w.int(int64(opts.AxisStride.Restarts))
+	w.int(int64(opts.Offset.Engine))
+	w.boolean(opts.Offset.NoNetPath)
+	w.float(opts.AxisStride.PruneSlack)
+	w.boolean(opts.Partition)
+	w.int(int64(opts.Offset.Presolve))
+	key := w.hexSum()
+	keyWriterPool.Put(w)
+	return key
 }
 
 // rehydrate rebinds a cached result to g, a graph whose canonical

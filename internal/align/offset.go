@@ -345,6 +345,17 @@ func (ax *axisSolver) solveProb(prob *lp.Problem) (*lp.Solution, error) {
 	return prob.Solve()
 }
 
+// presolveFloor is the RLP size floor (variables + constraints) below
+// which the offset solver skips the presolver: on tiny axis problems
+// the reduction's snapshot-and-contract pass costs more than the
+// handful of simplex pivots it saves, and E17 measured the fig1 RLPs
+// (183) as a net ~9% regression under presolve while the mixed
+// partial-network workload (256) and the rank4-dp RLPs (558) gain from
+// it. 220 splits those measured sizes. The floor lives here, not in
+// lp.Options' default, so lp's own presolve unit and differential
+// tests keep exercising the reduction at every size.
+const presolveFloor = 220
+
 // buildRLP constructs the RLP instance for the current axis.
 func (ax *axisSolver) buildRLP(parts map[int][]space.Space) (*lp.Problem, map[coefKey]lp.VarID) {
 	prob := lp.NewProblem()
@@ -353,7 +364,7 @@ func (ax *axisSolver) buildRLP(parts map[int][]space.Space) (*lp.Problem, map[co
 	}
 	prob.SetArena(ax.arena)
 	prob.SetStats(ax.stats)
-	prob.SetOptions(lp.Options{MaxIter: ax.opts.MaxIter, Ctx: ax.opts.ctx, Engine: ax.opts.Engine, Presolve: ax.opts.Presolve})
+	prob.SetOptions(lp.Options{MaxIter: ax.opts.MaxIter, Ctx: ax.opts.ctx, Engine: ax.opts.Engine, Presolve: ax.opts.Presolve, PresolveFloor: presolveFloor})
 	if ax.warmAll {
 		ax.thetas = map[int][]lp.VarID{}
 	}

@@ -62,13 +62,14 @@ type useRec struct {
 }
 
 type builder struct {
-	info  *lang.Info
-	g     *adg.Graph
-	defs  map[string]*defTok // array name → reaching definition
-	all   []*defTok          // every token ever created, creation order
-	space adg.IterSpace
-	livs  []string
-	ctl   float64 // control weight of the current context (½ per arm)
+	info     *lang.Info
+	g        *adg.Graph
+	defs     map[string]*defTok // array name → reaching definition
+	all      []*defTok          // every token ever created, creation order
+	tokArena []defTok           // chunk storage behind all (see newTok)
+	space    adg.IterSpace
+	livs     []string
+	ctl      float64 // control weight of the current context (½ per arm)
 }
 
 func (b *builder) run() error {
@@ -195,8 +196,16 @@ func copyAttrs(dst, src *adg.Port) {
 	dst.Space = src.Space
 }
 
+// newTok chunk-allocates the token (the builder is short-lived, but a
+// program has one token per definition — chunking them matches the ADG
+// arena's one-allocation-per-chunk rhythm on the cold front end).
 func (b *builder) newTok(p *adg.Port, name string) *defTok {
-	t := &defTok{port: p, name: name, ctl: b.ctl}
+	if len(b.tokArena) == cap(b.tokArena) {
+		b.tokArena = make([]defTok, 0, 64)
+	}
+	b.tokArena = b.tokArena[:len(b.tokArena)+1]
+	t := &b.tokArena[len(b.tokArena)-1]
+	t.port, t.name, t.ctl = p, name, b.ctl
 	b.all = append(b.all, t)
 	return t
 }

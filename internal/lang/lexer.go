@@ -2,11 +2,17 @@ package lang
 
 import (
 	"strings"
+	"sync"
 )
 
 // Lexer turns source text into tokens. Case is folded to lower for
 // keywords and identifiers (Fortran style); '!' starts a comment to end
 // of line; newlines are significant (statement separators).
+//
+// Token texts are substrings of the source: lexing a lowercase program
+// allocates nothing per token. Identifiers containing uppercase letters
+// take a fold-and-intern slow path (see lower), and the two-word end
+// forms use constant texts, so those never allocate either once warm.
 type Lexer struct {
 	src  string
 	off  int
@@ -22,12 +28,20 @@ func NewLexer(src string) *Lexer {
 // Lex tokenizes the whole input. A trailing NEWLINE is ensured before EOF
 // so the parser can treat every statement as newline-terminated.
 func Lex(src string) ([]Token, error) {
-	lx := NewLexer(src)
-	var toks []Token
+	return LexInto(src, nil)
+}
+
+// LexInto tokenizes src into toks, which is truncated and reused (pass
+// a recycled buffer to lex without growing a fresh slice). The returned
+// tokens alias src — their Text fields are substrings of it — so they
+// are valid for as long as src is.
+func LexInto(src string, toks []Token) ([]Token, error) {
+	lx := Lexer{src: src, line: 1, col: 1}
+	toks = toks[:0]
 	for {
 		t, err := lx.next()
 		if err != nil {
-			return nil, err
+			return toks, err
 		}
 		// Collapse duplicate newlines.
 		if t.Kind == NEWLINE && len(toks) > 0 && toks[len(toks)-1].Kind == NEWLINE {
@@ -131,27 +145,32 @@ func (lx *Lexer) next() (Token, error) {
 		}
 		return Token{Kind: GT, Text: ">", Pos: start}, nil
 	case c >= '0' && c <= '9':
-		var b strings.Builder
-		b.WriteByte(c)
+		startOff := lx.off - 1
 		for lx.off < len(lx.src) {
 			d := lx.peek()
 			if d < '0' || d > '9' {
 				break
 			}
-			b.WriteByte(lx.advance())
+			lx.advance()
 		}
-		return Token{Kind: NUMBER, Text: b.String(), Pos: start}, nil
+		return Token{Kind: NUMBER, Text: lx.src[startOff:lx.off], Pos: start}, nil
 	case isIdentStart(rune(c)):
-		var b strings.Builder
-		b.WriteByte(c)
+		startOff := lx.off - 1
+		hasUpper := c >= 'A' && c <= 'Z'
 		for lx.off < len(lx.src) {
-			d := rune(lx.peek())
-			if !isIdentPart(d) {
+			d := lx.peek()
+			if !isIdentPart(rune(d)) {
 				break
 			}
-			b.WriteByte(lx.advance())
+			if d >= 'A' && d <= 'Z' {
+				hasUpper = true
+			}
+			lx.advance()
 		}
-		word := strings.ToLower(b.String())
+		word := lx.src[startOff:lx.off]
+		if hasUpper {
+			word = lx.lower(word)
+		}
 		if kw, ok := keywords[word]; ok {
 			// "end do" / "end if" two-word forms.
 			if kw == KwEnd {
@@ -170,6 +189,39 @@ func (lx *Lexer) next() (Token, error) {
 		return Token{Kind: IDENT, Text: word, Pos: start}, nil
 	}
 	return Token{}, errf(start, "unexpected character %q", c)
+}
+
+// lowered interns the case-folded copies of mixed-case identifiers (the
+// same dedup trick align's internTable plays for solver labels) across
+// all lexes: each distinct spelling folds and allocates exactly once per
+// process, so re-lexing a warm source — the memo-key hash on every
+// repeat solve — allocates nothing. The table is capped so adversarial
+// input (fuzzing, hostile daemon clients) cannot grow it without bound;
+// past the cap the fold simply allocates per lex again. Keys are cloned
+// on store so an interned spelling never pins its source text alive.
+var lowered = struct {
+	sync.RWMutex
+	m map[string]string
+}{m: make(map[string]string)}
+
+const loweredCap = 4096
+
+// lower returns the case-folded form of word through the process-wide
+// intern table.
+func (lx *Lexer) lower(word string) string {
+	lowered.RLock()
+	s, ok := lowered.m[word]
+	lowered.RUnlock()
+	if ok {
+		return s
+	}
+	s = strings.ToLower(word)
+	lowered.Lock()
+	if len(lowered.m) < loweredCap {
+		lowered.m[strings.Clone(word)] = s
+	}
+	lowered.Unlock()
+	return s
 }
 
 // Identifiers are ASCII-only: the lexer walks bytes, so admitting

@@ -4,8 +4,9 @@ import "strconv"
 
 // Parser is a recursive-descent parser for the mini language.
 type Parser struct {
-	toks []Token
-	pos  int
+	toks  []Token
+	pos   int
+	arena nodeArena
 }
 
 // Parse lexes and parses a full program.
@@ -14,8 +15,97 @@ func Parse(src string) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
+	return ParseTokens(toks)
+}
+
+// ParseTokens parses a token stream produced by Lex/LexInto. It lets a
+// caller that already lexed (to compute a source key, say) parse
+// without tokenizing twice; the tokens themselves are not retained by
+// the returned AST.
+func ParseTokens(toks []Token) (*Program, error) {
 	p := &Parser{toks: toks}
 	return p.program()
+}
+
+// nodeArena chunk-allocates AST nodes so a parse performs a handful of
+// bulk allocations instead of one per node. Chunks are never reused —
+// the AST outlives the parse, so each carve hands out a slot whose
+// backing array the returned pointers keep alive.
+type nodeArena struct {
+	binops  []BinOp
+	nums    []Num
+	refs    []ArrayRef
+	calls   []Call
+	assigns []Assign
+	dos     []Do
+	ifs     []If
+	decls   []Decl
+}
+
+const arenaChunk = 64
+
+func (a *nodeArena) binop(v BinOp) *BinOp {
+	if len(a.binops) == cap(a.binops) {
+		a.binops = make([]BinOp, 0, arenaChunk)
+	}
+	a.binops = append(a.binops, v)
+	return &a.binops[len(a.binops)-1]
+}
+
+func (a *nodeArena) num(v Num) *Num {
+	if len(a.nums) == cap(a.nums) {
+		a.nums = make([]Num, 0, arenaChunk)
+	}
+	a.nums = append(a.nums, v)
+	return &a.nums[len(a.nums)-1]
+}
+
+func (a *nodeArena) ref(v ArrayRef) *ArrayRef {
+	if len(a.refs) == cap(a.refs) {
+		a.refs = make([]ArrayRef, 0, arenaChunk)
+	}
+	a.refs = append(a.refs, v)
+	return &a.refs[len(a.refs)-1]
+}
+
+func (a *nodeArena) call(v Call) *Call {
+	if len(a.calls) == cap(a.calls) {
+		a.calls = make([]Call, 0, arenaChunk)
+	}
+	a.calls = append(a.calls, v)
+	return &a.calls[len(a.calls)-1]
+}
+
+func (a *nodeArena) assign(v Assign) *Assign {
+	if len(a.assigns) == cap(a.assigns) {
+		a.assigns = make([]Assign, 0, arenaChunk)
+	}
+	a.assigns = append(a.assigns, v)
+	return &a.assigns[len(a.assigns)-1]
+}
+
+func (a *nodeArena) doNode(v Do) *Do {
+	if len(a.dos) == cap(a.dos) {
+		a.dos = make([]Do, 0, arenaChunk)
+	}
+	a.dos = append(a.dos, v)
+	return &a.dos[len(a.dos)-1]
+}
+
+func (a *nodeArena) ifNode(v If) *If {
+	if len(a.ifs) == cap(a.ifs) {
+		a.ifs = make([]If, 0, arenaChunk)
+	}
+	a.ifs = append(a.ifs, v)
+	return &a.ifs[len(a.ifs)-1]
+}
+
+func (a *nodeArena) decl(v Decl) *Decl {
+	if len(a.decls) == cap(a.decls) {
+		a.decls = make([]Decl, 0, arenaChunk)
+	}
+	a.decls = append(a.decls, v)
+	return &a.decls[len(a.decls)-1]
 }
 
 // MustParse parses src and panics on error; for tests and examples with
@@ -82,7 +172,7 @@ func (p *Parser) declLine() ([]*Decl, error) {
 		if err != nil {
 			return nil, err
 		}
-		d := &Decl{Name: name.Text, Pos: name.Pos}
+		d := p.arena.decl(Decl{Name: name.Text, Pos: name.Pos})
 		if p.kind() == LPAREN {
 			p.advance()
 			for {
@@ -192,7 +282,7 @@ func (p *Parser) doStmt() (Stmt, error) {
 		return nil, err
 	}
 	p.endOfStmt()
-	return &Do{Var: v.Text, Lo: lo, Hi: hi, Step: step, Body: body, Pos: tok.Pos}, nil
+	return p.arena.doNode(Do{Var: v.Text, Lo: lo, Hi: hi, Step: step, Body: body, Pos: tok.Pos}), nil
 }
 
 func (p *Parser) ifStmt() (Stmt, error) {
@@ -230,7 +320,7 @@ func (p *Parser) ifStmt() (Stmt, error) {
 		return nil, err
 	}
 	p.endOfStmt()
-	return &If{Cond: cond, Then: thenArm, Else: elseArm, Pos: tok.Pos}, nil
+	return p.arena.ifNode(If{Cond: cond, Then: thenArm, Else: elseArm, Pos: tok.Pos}), nil
 }
 
 func (p *Parser) endOfStmt() {
@@ -255,7 +345,7 @@ func (p *Parser) assignStmt() (Stmt, error) {
 	if _, err := p.expect(NEWLINE); err != nil {
 		return nil, err
 	}
-	return &Assign{LHS: lhs, RHS: rhs, Pos: tok.Pos}, nil
+	return p.arena.assign(Assign{LHS: lhs, RHS: rhs, Pos: tok.Pos}), nil
 }
 
 func (p *Parser) arrayRef() (*ArrayRef, error) {
@@ -263,7 +353,7 @@ func (p *Parser) arrayRef() (*ArrayRef, error) {
 	if err != nil {
 		return nil, err
 	}
-	ref := &ArrayRef{Name: name.Text, Pos: name.Pos}
+	ref := p.arena.ref(ArrayRef{Name: name.Text, Pos: name.Pos})
 	if p.kind() == LPAREN {
 		p.advance()
 		for {
@@ -352,7 +442,7 @@ func (p *Parser) expr() (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		l = &BinOp{Op: op, L: l, R: r, Pos: tok.Pos}
+		l = p.arena.binop(BinOp{Op: op, L: l, R: r, Pos: tok.Pos})
 	}
 }
 
@@ -371,7 +461,7 @@ func (p *Parser) additive() (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		l = &BinOp{Op: op, L: l, R: r, Pos: tok.Pos}
+		l = p.arena.binop(BinOp{Op: op, L: l, R: r, Pos: tok.Pos})
 	}
 	return l, nil
 }
@@ -391,7 +481,7 @@ func (p *Parser) multiplicative() (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		l = &BinOp{Op: op, L: l, R: r, Pos: tok.Pos}
+		l = p.arena.binop(BinOp{Op: op, L: l, R: r, Pos: tok.Pos})
 	}
 	return l, nil
 }
@@ -403,7 +493,7 @@ func (p *Parser) unary() (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &BinOp{Op: "-", L: &Num{Val: 0, Pos: tok.Pos}, R: e, Pos: tok.Pos}, nil
+		return p.arena.binop(BinOp{Op: "-", L: p.arena.num(Num{Val: 0, Pos: tok.Pos}), R: e, Pos: tok.Pos}), nil
 	}
 	if p.kind() == PLUS {
 		p.advance()
@@ -420,7 +510,7 @@ func (p *Parser) primary() (Expr, error) {
 		if err != nil {
 			return nil, errf(tok.Pos, "bad number %q", tok.Text)
 		}
-		return &Num{Val: v, Pos: tok.Pos}, nil
+		return p.arena.num(Num{Val: v, Pos: tok.Pos}), nil
 	case LPAREN:
 		p.advance()
 		e, err := p.expr()
@@ -439,7 +529,7 @@ func (p *Parser) primary() (Expr, error) {
 			if _, err := p.expect(LPAREN); err != nil {
 				return nil, err
 			}
-			call := &Call{Name: name.Text, Pos: name.Pos}
+			call := p.arena.call(Call{Name: name.Text, Pos: name.Pos})
 			for {
 				a, err := p.expr()
 				if err != nil {

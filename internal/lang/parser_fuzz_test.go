@@ -1,0 +1,69 @@
+package lang
+
+import (
+	"testing"
+)
+
+// fuzzSeeds are shared corpus seeds for the parser and sema fuzzers:
+// every statement form, mixed case (exercising the fold-and-intern
+// path), comments and blank lines (normalized away by the lexer), and
+// the intrinsic calls sema gives special treatment.
+var fuzzSeeds = []string{
+	"real a(10)\na = a + 1\n",
+	"real A(100,100), V(200)\ndo k = 1, 100\n  A(k,1:100) = A(k,1:100) + V(k:k+99)\nenddo\n",
+	"real t(100), b(100,200)\ndo k = 1, 200\n  t = cos(t)\n  b = b + spread(t, 2, 200)\nenddo\n",
+	"real a(10), b(10)\nif (1 < 2) then\n  a = b\nelse\n  b = a\nendif\n",
+	"real c(64,64), d(64,64)\nc = c + transpose(d)\n",
+	"real v(100), w(100)\nv = sum(w)\n",
+	"real tb(512), ix(100), o(100)\no = tb(ix)\n",
+	"! comment\nreal a(8)\n\n\na(1:8:2) = a(1:8:2) * 2 ! trailing\n",
+	"real x(10)\ndo i = 1, 5\n  do j = i, 10, 2\n    x(j) = x(j) - 1\n  end do\nend do\n",
+}
+
+// FuzzParser is the parser round-trip fuzzer: any accepted program's
+// String rendering must reparse, and the reparse must render to the
+// identical string (a rendering fixed point — stronger than FuzzLexer's
+// shape check, this pins operator precedence, section printing, and
+// statement nesting). CI runs a short smoke (-fuzz=FuzzParser
+// -fuzztime=10s); crashers join testdata/fuzz as corpus seeds.
+func FuzzParser(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src) // must not panic
+		if err != nil {
+			return
+		}
+		r1 := prog.String()
+		p2, err := Parse(r1)
+		if err != nil {
+			t.Fatalf("accepted program's rendering failed to reparse:\n%s\nerr: %v", r1, err)
+		}
+		if r2 := p2.String(); r1 != r2 {
+			t.Errorf("rendering is not a fixed point:\n--- first\n%s\n--- reparsed\n%s", r1, r2)
+		}
+	})
+}
+
+// FuzzSema feeds every syntactically valid program to semantic
+// analysis: Analyze must return a result or an error, never panic —
+// undeclared arrays, rank mismatches, non-affine subscripts, and
+// malformed intrinsic calls all have error paths, and this is the guard
+// that byte soup reaching the daemon's /v1/solve cannot crash it.
+func FuzzSema(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Add("real a(10)\nb = a\n")                // undeclared
+	f.Add("real a(10,10)\na = a(1,1,1)\n")      // rank mismatch
+	f.Add("real a(10)\na(k) = 1\n")             // free index variable
+	f.Add("real a(10)\na = spread(a, 99, 0)\n") // bad spread dim
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		_, _ = Analyze(prog) // must not panic
+	})
+}

@@ -160,6 +160,9 @@ func (p *Problem) Reduce(dropZero bool) (*Reduction, bool) {
 	if n == 0 || len(p.cons) == 0 {
 		return nil, false
 	}
+	if f := p.opt.PresolveFloor; f > 0 && n+len(p.cons) < f {
+		return nil, false
+	}
 	r := &Reduction{p: p, n: n}
 	r.parent = make([]int, n+1)
 	r.off = make([]float64, n+1)

@@ -82,6 +82,13 @@ type Options struct {
 	// runs on the problem exactly as built (differential testing,
 	// baseline measurement).
 	Presolve PresolveMode
+	// PresolveFloor, when > 0, makes Reduce decline on problems with
+	// fewer than this many variables plus constraints: below the floor
+	// the snapshot-and-contract pass costs more than the monolithic
+	// simplex it saves (tiny RLPs solve in a handful of pivots). Zero —
+	// the default — imposes no floor, so presolve unit and differential
+	// tests exercise the reduction on problems of every size.
+	PresolveFloor int
 }
 
 // PresolveMode gates the Reduce presolver; see Options.Presolve.

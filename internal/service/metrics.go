@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro"
 )
 
 // latencyBounds are the histogram bucket upper bounds in seconds. They
@@ -87,6 +89,20 @@ type metrics struct {
 	requests map[string]map[int]int64 // endpoint → status code → count
 
 	inflightRequests atomic.Int64
+
+	// Cumulative front-end phase time across all solves, in
+	// nanoseconds. A source-memo hit contributes only key time — the
+	// hash is all a hit costs.
+	feLexNs, feParseNs, feSemaNs, feBuildNs, feKeyNs atomic.Int64
+}
+
+// observeFrontend accumulates one solve's per-phase front-end times.
+func (m *metrics) observeFrontend(ft repro.FrontendTimes) {
+	m.feLexNs.Add(int64(ft.Lex))
+	m.feParseNs.Add(int64(ft.Parse))
+	m.feSemaNs.Add(int64(ft.Sema))
+	m.feBuildNs.Add(int64(ft.Build))
+	m.feKeyNs.Add(int64(ft.Key))
 }
 
 func newMetrics() *metrics {
@@ -196,6 +212,24 @@ func (s *Server) MetricsText() string {
 	w("alignd_cache_computes_total %d\n", computes)
 	w("# HELP alignd_cache_contention_total Cache shard-lock acquisitions that had to wait.\n# TYPE alignd_cache_contention_total counter\n")
 	w("alignd_cache_contention_total %d\n", s.cache.Contention())
+
+	mHits, mMisses, mShared, mComputes := s.cache.SourceCounters()
+	w("# HELP alignd_source_memo_hits_total Source-memo hits: solves that skipped the front end entirely.\n# TYPE alignd_source_memo_hits_total counter\n")
+	w("alignd_source_memo_hits_total %d\n", mHits)
+	w("# HELP alignd_source_memo_misses_total Source-memo misses (front-end singleflight leaders).\n# TYPE alignd_source_memo_misses_total counter\n")
+	w("alignd_source_memo_misses_total %d\n", mMisses)
+	w("# HELP alignd_source_memo_shared_total Callers served by another caller's in-flight front end.\n# TYPE alignd_source_memo_shared_total counter\n")
+	w("alignd_source_memo_shared_total %d\n", mShared)
+	w("# HELP alignd_source_memo_computes_total Front-end executions admitted by the memo tier.\n# TYPE alignd_source_memo_computes_total counter\n")
+	w("alignd_source_memo_computes_total %d\n", mComputes)
+
+	w("# HELP alignd_frontend_phase_seconds_total Cumulative front-end wall time by phase across all solves.\n")
+	w("# TYPE alignd_frontend_phase_seconds_total counter\n")
+	w("alignd_frontend_phase_seconds_total{phase=\"lex\"} %g\n", float64(s.metrics.feLexNs.Load())/1e9)
+	w("alignd_frontend_phase_seconds_total{phase=\"parse\"} %g\n", float64(s.metrics.feParseNs.Load())/1e9)
+	w("alignd_frontend_phase_seconds_total{phase=\"sema\"} %g\n", float64(s.metrics.feSemaNs.Load())/1e9)
+	w("alignd_frontend_phase_seconds_total{phase=\"build\"} %g\n", float64(s.metrics.feBuildNs.Load())/1e9)
+	w("alignd_frontend_phase_seconds_total{phase=\"key\"} %g\n", float64(s.metrics.feKeyNs.Load())/1e9)
 
 	tenants := s.quota.Stats()
 	w("# HELP alignd_tenant_throttled_total Requests rejected by per-tenant quota (HTTP 429).\n")

@@ -42,9 +42,6 @@ import (
 
 	"repro"
 	"repro/internal/align"
-	"repro/internal/build"
-	"repro/internal/cost"
-	"repro/internal/lang"
 	"repro/internal/lp"
 )
 
@@ -220,8 +217,13 @@ type SolveResponse struct {
 	General   int64 `json:"general"`
 	Shift     int64 `json:"shift"`
 	Broadcast int64 `json:"broadcast"`
-	CacheHit  bool  `json:"cache_hit"`
-	Regions   int   `json:"regions"`
+	// CacheHit reports that any tier answered this solve: the source
+	// memo in front of the pipeline, or the pipeline cache behind it.
+	CacheHit bool `json:"cache_hit"`
+	// MemoHit reports specifically that the source memo tier answered —
+	// the request skipped lex, parse, sema, and ADG build entirely.
+	MemoHit bool `json:"memo_hit,omitempty"`
+	Regions int  `json:"regions"`
 	// SolveNs is the server-side latency of this slot, including any
 	// time queued for quota-admitted scheduler workers.
 	SolveNs int64 `json:"solve_ns"`
@@ -359,7 +361,8 @@ func (s *Server) solveTimeout(reqMS int64) time.Duration {
 }
 
 // solveOne runs one program slot: lease one scheduler worker, then the
-// full source-to-cost pipeline under the per-slot panic boundary. A
+// shared memo-aware source-to-cost pipeline (source memo tier in front,
+// pooled front end on a miss) under the per-slot panic boundary. A
 // canceled or expired ctx — before or during the solve — returns an
 // error, never a partial labeling.
 func (s *Server) solveOne(ctx context.Context, label, src string, opts align.Options, timeout time.Duration) (*repro.Result, error) {
@@ -373,27 +376,13 @@ func (s *Server) solveOne(ctx context.Context, label, src string, opts align.Opt
 		return nil, err
 	}
 	defer release()
-	return align.Protect(label, func() (*repro.Result, error) {
-		prog, err := lang.Parse(src)
-		if err != nil {
-			return nil, fmt.Errorf("parse: %w", err)
-		}
-		info, err := lang.Analyze(prog)
-		if err != nil {
-			return nil, fmt.Errorf("analyze: %w", err)
-		}
-		g, err := build.Build(info)
-		if err != nil {
-			return nil, fmt.Errorf("build ADG: %w", err)
-		}
-		ar, err := s.sched.AlignLeasedContext(ctx, g, opts, 1)
-		if err != nil {
-			return nil, err
-		}
-		res := &repro.Result{Program: prog, Info: info, Graph: g, Align: ar}
-		res.Cost = cost.Exact(g, ar.Assignment)
-		return res, nil
+	res, err := align.Protect(label, func() (*repro.Result, error) {
+		return repro.AlignSourceLeased(ctx, s.sched, src, opts, 1)
 	})
+	if err == nil {
+		s.metrics.observeFrontend(res.Frontend)
+	}
+	return res, err
 }
 
 // errCode maps a solve error to its HTTP status: deadline → 504,
@@ -446,7 +435,8 @@ func (s *Server) serveSolve(w http.ResponseWriter, r *http.Request) int {
 		General:   res.Cost.General,
 		Shift:     res.Cost.Shift,
 		Broadcast: res.Cost.Broadcast,
-		CacheHit:  res.Align.CacheHit,
+		CacheHit:  res.Align.CacheHit || res.MemoHit,
+		MemoHit:   res.MemoHit,
 		Regions:   res.Align.Regions,
 		SolveNs:   int64(d),
 		Report:    res.Report(),
@@ -509,7 +499,7 @@ func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request) int {
 				slot.Error = err.Error()
 			} else {
 				slot.Cost = res.Cost.Total()
-				slot.CacheHit = res.Align.CacheHit
+				slot.CacheHit = res.Align.CacheHit || res.MemoHit
 			}
 			slots <- slot
 		}(i, src)
@@ -556,7 +546,9 @@ type SchedulerStatsJSON struct {
 	Waiting   int `json:"waiting"`
 }
 
-// CacheStatsJSON is the shared cache's counter snapshot.
+// CacheStatsJSON is the shared cache's counter snapshot, covering both
+// tiers: the pipeline-result cache and the source memo tier in front of
+// it (memo_* fields).
 type CacheStatsJSON struct {
 	Len        int   `json:"len"`
 	Hits       int64 `json:"hits"`
@@ -564,6 +556,12 @@ type CacheStatsJSON struct {
 	Computes   int64 `json:"computes"`
 	Shared     int64 `json:"shared"`
 	Contention int64 `json:"contention"`
+
+	MemoLen      int   `json:"memo_len"`
+	MemoHits     int64 `json:"memo_hits"`
+	MemoMisses   int64 `json:"memo_misses"`
+	MemoComputes int64 `json:"memo_computes"`
+	MemoShared   int64 `json:"memo_shared"`
 }
 
 // TenantStatsJSON mirrors align.TenantStats.
@@ -579,6 +577,7 @@ func (s *Server) serveStats(w http.ResponseWriter, r *http.Request) int {
 	st := s.sched.Stats()
 	hits, misses := s.cache.Counters()
 	computes, shared := s.cache.FlightStats()
+	mHits, mMisses, mShared, mComputes := s.cache.SourceCounters()
 	p50, p99, p999 := s.metrics.solveHist.Quantiles()
 	resp := StatsResponse{
 		UptimeNs: int64(time.Since(s.metrics.start)),
@@ -590,6 +589,8 @@ func (s *Server) serveStats(w http.ResponseWriter, r *http.Request) int {
 		Cache: CacheStatsJSON{
 			Len: s.cache.Len(), Hits: hits, Misses: misses,
 			Computes: computes, Shared: shared, Contention: s.cache.Contention(),
+			MemoLen: s.cache.SourceLen(), MemoHits: mHits, MemoMisses: mMisses,
+			MemoComputes: mComputes, MemoShared: mShared,
 		},
 		SolveP50: p50, SolveP99: p99, SolveP999: p999,
 		Solves: s.metrics.solveHist.count.Load(),

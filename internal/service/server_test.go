@@ -99,6 +99,9 @@ func TestSolveEndpoint(t *testing.T) {
 	if !warm.CacheHit {
 		t.Error("second identical solve missed the cache")
 	}
+	if !warm.MemoHit {
+		t.Error("second identical solve was not served by the source memo tier")
+	}
 	if warm.Cost != cold.Cost {
 		t.Errorf("warm cost %d != cold cost %d", warm.Cost, cold.Cost)
 	}
@@ -386,6 +389,9 @@ func TestMetricsScrape(t *testing.T) {
 	for _, want := range []string{
 		`alignd_requests_total{endpoint="solve",code="200"}`,
 		"alignd_cache_hits_total",
+		"alignd_source_memo_hits_total",
+		"alignd_source_memo_computes_total",
+		`alignd_frontend_phase_seconds_total{phase="parse"}`,
 		"alignd_queue_depth",
 		"alignd_inflight_leases",
 		`alignd_tenant_throttled_total{tenant="default"}`,
@@ -395,8 +401,13 @@ func TestMetricsScrape(t *testing.T) {
 			t.Errorf("metrics missing %s", want)
 		}
 	}
-	if v := values["alignd_cache_hits_total"]; v != "1" {
-		t.Errorf("cache hits = %s, want 1", v)
+	// The warm repeat is served by the source memo tier in front of the
+	// pipeline cache, so the hit lands in the memo counter.
+	if v := values["alignd_source_memo_hits_total"]; v != "1" {
+		t.Errorf("source memo hits = %s, want 1", v)
+	}
+	if v := values["alignd_source_memo_computes_total"]; v != "1" {
+		t.Errorf("source memo computes = %s, want 1", v)
 	}
 	if v := values[`alignd_tenant_throttled_total{tenant="default"}`]; v != "1" {
 		t.Errorf("default tenant throttles = %s, want 1", v)

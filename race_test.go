@@ -1,0 +1,7 @@
+//go:build race
+
+package repro
+
+// raceEnabled reports whether the race detector is active; its runtime
+// instrumentation allocates, which invalidates AllocsPerRun gates.
+const raceEnabled = true
